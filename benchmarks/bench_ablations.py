@@ -1,0 +1,41 @@
+"""Ablation + extension benchmarks (DESIGN.md design choices)."""
+
+from repro.experiments import ablations, energy, sensitivity_batch
+
+
+def test_ablations(benchmark, bench_cfg):
+    result = benchmark.pedantic(
+        ablations.run, args=(bench_cfg,), rounds=2, iterations=1
+    )
+    for name, speedup in result["speedups"].items():
+        benchmark.extra_info[name] = round(speedup, 2)
+    assert result["speedups"]["HW/SW (full)"] > result["speedups"][
+        "HW/SW without coalescing"
+    ]
+
+
+def test_energy(benchmark, bench_cfg):
+    result = benchmark.pedantic(
+        energy.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": ("reddit",), "n_batches": 8, "n_workers": 4},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["energy_saving_vs_mmap"] = round(
+        result["avg_energy_saving"], 2
+    )
+    assert result["avg_energy_saving"] > 1.5
+
+
+def test_batch_size_sensitivity(benchmark, bench_cfg):
+    result = benchmark.pedantic(
+        sensitivity_batch.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": ("reddit",)},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["max_spread"] = round(result["max_spread"], 2)
+    benchmark.extra_info["paper"] = (
+        "batch size has little effect (claim stated, figure omitted)"
+    )
+    assert result["max_spread"] < 2.0

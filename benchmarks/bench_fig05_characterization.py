@@ -1,0 +1,22 @@
+"""Fig 5 benchmark: LLC miss rate + DRAM bandwidth during sampling."""
+
+from repro.experiments import fig05_characterization
+
+
+def test_fig05_characterization(benchmark, bench_cfg, bench_datasets):
+    result = benchmark.pedantic(
+        fig05_characterization.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": bench_datasets, "n_batches": 2},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["avg_llc_miss_rate"] = round(
+        result["avg_miss_rate"], 3
+    )
+    benchmark.extra_info["avg_dram_bw_utilization"] = round(
+        result["avg_bw_utilization"], 3
+    )
+    benchmark.extra_info["paper"] = "miss 62%, bw 21%"
+    # paper shape: high miss rate yet low bandwidth use (latency bound)
+    assert result["avg_miss_rate"] > 0.35
+    assert result["avg_bw_utilization"] < 0.5

@@ -1,0 +1,18 @@
+"""Fig 6 benchmark: e2e latency breakdown, DRAM vs SSD(mmap)."""
+
+from repro.experiments import fig06_breakdown
+
+
+def test_fig06_breakdown(benchmark, bench_cfg, bench_datasets):
+    result = benchmark.pedantic(
+        fig06_breakdown.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": bench_datasets, "n_batches": 12,
+                "n_workers": 8},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["avg_mmap_slowdown_vs_dram"] = round(
+        result["avg_slowdown"], 2
+    )
+    benchmark.extra_info["paper"] = "9.8x avg, 19.6x max"
+    assert result["avg_slowdown"] > 3.0

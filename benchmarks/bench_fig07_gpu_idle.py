@@ -1,0 +1,19 @@
+"""Fig 7 benchmark: GPU idle fraction, DRAM vs SSD(mmap)."""
+
+from repro.experiments import fig07_gpu_idle
+
+
+def test_fig07_gpu_idle(benchmark, bench_cfg, bench_datasets):
+    result = benchmark.pedantic(
+        fig07_gpu_idle.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": bench_datasets, "n_batches": 12,
+                "n_workers": 8},
+        rounds=2, iterations=1,
+    )
+    for name, idle in result["per_dataset"].items():
+        benchmark.extra_info[f"{name}_idle_dram"] = round(idle["dram"], 3)
+        benchmark.extra_info[f"{name}_idle_mmap"] = round(
+            idle["ssd-mmap"], 3
+        )
+        assert idle["ssd-mmap"] > idle["dram"]

@@ -1,0 +1,18 @@
+"""Fig 13 benchmark: Kronecker expansion degree-distribution shape."""
+
+from repro.experiments import fig13_degree
+
+
+def test_fig13_degree(benchmark, bench_cfg):
+    result = benchmark.pedantic(
+        fig13_degree.run, args=(bench_cfg,), rounds=2, iterations=1
+    )
+    for name, d in result["per_dataset"].items():
+        benchmark.extra_info[f"{name}_shape_similarity"] = round(
+            d["shape_similarity"], 3
+        )
+        benchmark.extra_info[f"{name}_densified"] = d["factors"][
+            "densified"
+        ]
+        assert d["factors"]["densified"]
+        assert d["shape_similarity"] > 0.7

@@ -1,0 +1,19 @@
+"""Fig 14 benchmark: single-worker sampling speedups over SSD(mmap)."""
+
+from repro.experiments import fig14_single_worker
+
+
+def test_fig14_single_worker(benchmark, bench_cfg, bench_datasets):
+    result = benchmark.pedantic(
+        fig14_single_worker.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": bench_datasets},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["sw_avg_speedup"] = round(result["sw_avg"], 2)
+    benchmark.extra_info["hwsw_avg_speedup"] = round(
+        result["hwsw_avg"], 2
+    )
+    benchmark.extra_info["paper"] = "SW 1.5x, HW/SW 10.1x (max 12.6x)"
+    assert 1.0 < result["sw_avg"] < 4.0
+    assert 5.0 < result["hwsw_avg"] < 20.0

@@ -1,0 +1,19 @@
+"""Fig 15 benchmark: I/O command coalescing granularity sweep."""
+
+from repro.experiments import fig15_coalescing
+
+
+def test_fig15_coalescing(benchmark, bench_cfg):
+    result = benchmark.pedantic(
+        fig15_coalescing.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": ("reddit",)},
+        rounds=2, iterations=1,
+    )
+    perf = result["per_dataset"]["reddit"]["relative_performance"]
+    grans = result["granularities"]
+    benchmark.extra_info["perf_at_finest"] = round(perf[grans[-1]], 3)
+    benchmark.extra_info["paper"] = (
+        "perf collapses as granularity -> 1 command/target"
+    )
+    assert perf[grans[-1]] < perf[grans[0]]

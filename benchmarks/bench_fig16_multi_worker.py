@@ -1,0 +1,21 @@
+"""Fig 16 benchmark: multi-worker sampling speedups (event mode)."""
+
+from repro.experiments import fig16_multi_worker
+
+
+def test_fig16_multi_worker(benchmark, bench_cfg, bench_datasets):
+    result = benchmark.pedantic(
+        fig16_multi_worker.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": bench_datasets, "n_workers": 12,
+                "n_batches": 24},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["hwsw_avg_speedup_12w"] = round(
+        result["hwsw_avg"], 2
+    )
+    benchmark.extra_info["sw_avg_speedup_12w"] = round(
+        result["sw_avg"], 2
+    )
+    benchmark.extra_info["paper"] = "HW/SW 4.4x (max 5.5x), SW ~2.9x"
+    assert result["hwsw_avg"] > 1.5

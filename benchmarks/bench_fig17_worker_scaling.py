@@ -1,0 +1,17 @@
+"""Fig 17 benchmark: HW/SW-over-SW speedup vs worker count."""
+
+from repro.experiments import fig17_worker_scaling
+
+
+def test_fig17_worker_scaling(benchmark, bench_cfg):
+    result = benchmark.pedantic(
+        fig17_worker_scaling.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": ("reddit",), "worker_counts": (1, 4, 12)},
+        rounds=2, iterations=1,
+    )
+    speedups = result["per_dataset"]["reddit"]
+    for workers, speedup in speedups.items():
+        benchmark.extra_info[f"speedup_{workers}w"] = round(speedup, 2)
+    benchmark.extra_info["paper"] = "declines ~6.6x -> ~2x (1 -> 12 workers)"
+    assert speedups[1] > speedups[12]

@@ -1,0 +1,26 @@
+"""Fig 18 benchmark: end-to-end training time, all design points."""
+
+from repro.experiments import fig18_end_to_end
+
+
+def test_fig18_end_to_end(benchmark, bench_cfg, bench_datasets):
+    result = benchmark.pedantic(
+        fig18_end_to_end.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": bench_datasets, "n_batches": 12,
+                "n_workers": 8},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["hwsw_vs_mmap_avg"] = round(
+        result["hwsw_vs_mmap_avg"], 2
+    )
+    benchmark.extra_info["pmem_vs_dram"] = round(
+        result["pmem_vs_dram_avg"], 2
+    )
+    benchmark.extra_info["oracle_frac_of_dram"] = round(
+        result["oracle_frac_of_dram_avg"], 2
+    )
+    benchmark.extra_info["paper"] = (
+        "HW/SW 3.5x vs mmap; PMEM 1.2x vs DRAM; oracle ~70% of DRAM"
+    )
+    assert result["hwsw_vs_mmap_avg"] > 1.5

@@ -1,0 +1,21 @@
+"""Fig 19 benchmark: FPGA-based CSD vs SmartSAGE(SW)."""
+
+from repro.experiments import fig19_fpga
+
+
+def test_fig19_fpga(benchmark, bench_cfg, bench_datasets):
+    result = benchmark.pedantic(
+        fig19_fpga.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": bench_datasets},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["fpga_vs_sw_avg"] = round(
+        result["fpga_vs_sw_avg"], 2
+    )
+    benchmark.extra_info["paper"] = (
+        "FPGA CSD no faster than SmartSAGE(SW); P2P transfer dominates"
+    )
+    for d in result["per_dataset"].values():
+        assert d["transfer_fraction"] > 0.8
+        assert d["fpga_vs_sw"] < 1.5

@@ -1,0 +1,18 @@
+"""Fig 20 benchmark: GraphSAINT end-to-end speedup."""
+
+from repro.experiments import fig20_graphsaint
+
+
+def test_fig20_graphsaint(benchmark, bench_cfg, bench_datasets):
+    result = benchmark.pedantic(
+        fig20_graphsaint.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": bench_datasets, "n_batches": 12,
+                "n_workers": 8},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["hwsw_avg_speedup"] = round(
+        result["hwsw_avg_speedup"], 2
+    )
+    benchmark.extra_info["paper"] = "8.2x avg e2e speedup"
+    assert result["hwsw_avg_speedup"] > 1.3

@@ -1,0 +1,21 @@
+"""Fig 21 benchmark: sampling-rate sensitivity sweep."""
+
+from repro.experiments import fig21_sampling_rate
+
+
+def test_fig21_sampling_rate(benchmark, bench_cfg):
+    result = benchmark.pedantic(
+        fig21_sampling_rate.run,
+        args=(bench_cfg,),
+        kwargs={"datasets": ("reddit",)},
+        rounds=2, iterations=1,
+    )
+    speedups = result["per_dataset"]["reddit"]
+    for scale, v in speedups.items():
+        benchmark.extra_info[f"hwsw_at_{scale}x_rate"] = round(
+            v["hwsw"], 2
+        )
+    benchmark.extra_info["paper"] = (
+        "speedup shrinks as sampling rate grows"
+    )
+    assert speedups[0.5]["hwsw"] > speedups[2.0]["hwsw"]

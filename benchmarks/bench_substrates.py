@@ -1,0 +1,59 @@
+"""Substrate micro-benchmarks: simulator, LLC, sampler throughput.
+
+These track the cost of the simulation itself (events/second, trace
+rate), so regressions in the substrates are visible independently of the
+paper figures.
+"""
+
+import numpy as np
+
+from repro.graph import rmat_graph
+from repro.gnn import NeighborSampler
+from repro.memory import CacheSim
+from repro.config import LLCParams
+from repro.sim import Resource, Simulator
+
+
+def test_des_event_throughput(benchmark):
+    """Dispatch rate of the discrete-event engine."""
+
+    def run():
+        sim = Simulator()
+        res = Resource(sim, capacity=4)
+
+        def worker():
+            for _ in range(200):
+                yield res.acquire()
+                yield sim.timeout(1e-6)
+                res.release()
+
+        for _ in range(8):
+            sim.process(worker())
+        sim.run()
+        return sim.processed_events
+
+    events = benchmark(run)
+    benchmark.extra_info["events"] = events
+    assert events > 1000
+
+
+def test_llc_trace_rate(benchmark):
+    """Addresses/second through the set-associative LLC simulator."""
+    cache = CacheSim(LLCParams(capacity_bytes=1 << 20, ways=8))
+    rng = np.random.default_rng(0)
+    trace = rng.integers(0, 1 << 26, size=50_000)
+
+    stats = benchmark(cache.run_trace, trace)
+    benchmark.extra_info["miss_rate"] = round(stats.miss_rate, 3)
+
+
+def test_neighbor_sampling_rate(benchmark):
+    """Mini-batch sampling throughput of the vectorized CSR sampler."""
+    graph = rmat_graph(20_000, 400_000, np.random.default_rng(0))
+    sampler = NeighborSampler(graph, fanouts=(25, 10))
+    rng = np.random.default_rng(1)
+    seeds = rng.integers(0, graph.num_nodes, size=128)
+
+    batch = benchmark(sampler.sample_batch, seeds, rng)
+    benchmark.extra_info["targets"] = batch.total_targets
+    assert batch.total_samples > 0

@@ -1,0 +1,17 @@
+"""Table I benchmark: dataset registry + scaled materialization."""
+
+from repro.experiments import table1_datasets
+
+
+def test_table1_datasets(benchmark, bench_cfg):
+    result = benchmark.pedantic(
+        table1_datasets.run, args=(bench_cfg,), rounds=2, iterations=1
+    )
+    assert len(result["instances"]) == 5
+    reddit = result["instances"]["reddit"]
+    benchmark.extra_info["reddit_scaled_nodes"] = reddit["large_nodes"]
+    benchmark.extra_info["reddit_scaled_avg_degree"] = round(
+        reddit["large_avg_degree"], 1
+    )
+    # paper Table I: large-scale Reddit has ~1445 average degree
+    assert abs(reddit["large_avg_degree"] - 1445) / 1445 < 0.05

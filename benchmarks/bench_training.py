@@ -1,0 +1,57 @@
+"""Training benchmark: real numpy GraphSAGE optimization steps.
+
+Not a paper figure -- this benchmarks the GNN substrate itself (the
+consumer-side math the GPU model prices), and asserts training works.
+"""
+
+import numpy as np
+
+from repro.gnn import Adam, FeatureTable, GraphSAGE, NeighborSampler, Trainer
+from repro.graph import load_dataset
+from repro.graph.datasets import IN_MEMORY
+
+
+def test_training_step(benchmark):
+    ds = load_dataset("amazon", variant=IN_MEMORY, scale=2e-5, seed=0)
+    feats = FeatureTable(ds.features(noise=0.6))
+    sampler = NeighborSampler(ds.graph, fanouts=(5, 5))
+    model = GraphSAGE(
+        ds.feature_dim, 32, ds.num_classes,
+        rng=np.random.default_rng(0),
+    )
+    trainer = Trainer(
+        model, sampler, feats, ds.labels(),
+        Adam(model.parameters(), lr=1e-2), batch_size=64,
+    )
+    rng = np.random.default_rng(1)
+    seeds = np.arange(64)
+
+    def step():
+        return trainer.train_step(seeds, rng)
+
+    loss, acc = benchmark(step)
+    benchmark.extra_info["loss"] = round(float(loss), 3)
+    assert np.isfinite(loss)
+
+
+def test_epoch_learns(benchmark):
+    ds = load_dataset("amazon", variant=IN_MEMORY, scale=1e-5, seed=0)
+    feats = FeatureTable(ds.features(noise=0.6))
+    sampler = NeighborSampler(ds.graph, fanouts=(5, 5))
+
+    def train_run():
+        model = GraphSAGE(
+            ds.feature_dim, 32, ds.num_classes,
+            rng=np.random.default_rng(0),
+        )
+        trainer = Trainer(
+            model, sampler, feats, ds.labels(),
+            Adam(model.parameters(), lr=1e-2), batch_size=64,
+        )
+        train, _ = ds.train_test_split()
+        return trainer.fit(train, epochs=3, rng=np.random.default_rng(1))
+
+    result = benchmark.pedantic(train_run, rounds=2, iterations=1)
+    benchmark.extra_info["first_loss"] = round(result.first_loss, 3)
+    benchmark.extra_info["last_loss"] = round(result.last_loss, 3)
+    assert result.last_loss < result.first_loss

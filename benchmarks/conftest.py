@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper artifact at a reduced-but-faithful
+scale (the full-scale numbers live in EXPERIMENTS.md) and stores the
+headline measurements in ``benchmark.extra_info`` so they appear in the
+pytest-benchmark report.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_cfg() -> ExperimentConfig:
+    return ExperimentConfig(
+        edge_budget=2.5e5, batch_size=32, n_workloads=5
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_datasets():
+    # one high-degree and one low-degree dataset bracket the behaviour
+    return ("reddit", "amazon")

@@ -1,0 +1,60 @@
+"""Compare GNN aggregators: mean (paper default), pooling, attention.
+
+The paper's GraphSAGE uses the mean aggregator; Fig 2 names a pooling
+function, and the introduction motivates the field's move from
+convolutions to attentions.  This example trains all three variants of
+the numpy GNN on the same data -- the storage-side results are agnostic
+to the aggregator, since all three consume identical sampled subgraphs.
+
+Run:  python examples/compare_aggregators.py
+"""
+
+import numpy as np
+
+from repro.gnn import Adam, FeatureTable, GraphSAGE, NeighborSampler, Trainer
+from repro.graph import load_dataset
+
+
+def train_variant(conv_type, dataset, features, labels, train_nodes,
+                  test_nodes):
+    sampler = NeighborSampler(dataset.graph, fanouts=(8, 8))
+    model = GraphSAGE(
+        in_dim=dataset.feature_dim,
+        hidden_dim=48,
+        num_classes=dataset.num_classes,
+        rng=np.random.default_rng(0),
+        conv_type=conv_type,
+    )
+    trainer = Trainer(
+        model, sampler, features, labels,
+        Adam(model.parameters(), lr=5e-3),
+        batch_size=96,
+    )
+    rng = np.random.default_rng(1)
+    result = trainer.fit(train_nodes, epochs=4, rng=rng)
+    accuracy = trainer.evaluate(test_nodes[:512], rng)
+    return result, accuracy, model.parameter_count()
+
+
+def main() -> None:
+    dataset = load_dataset("amazon", variant="in-memory", scale=3e-5,
+                           seed=0)
+    features = FeatureTable(dataset.features(noise=0.6))
+    labels = dataset.labels()
+    train_nodes, test_nodes = dataset.train_test_split(0.8)
+    print(f"dataset: {dataset} ({dataset.num_classes} classes)\n")
+    chance = 1.0 / dataset.num_classes
+    print(f"{'aggregator':12s} {'params':>8s} {'final loss':>11s} "
+          f"{'test acc':>9s}   (chance {chance:.1%})")
+    for conv_type in ("mean", "pool", "gat"):
+        result, accuracy, n_params = train_variant(
+            conv_type, dataset, features, labels, train_nodes, test_nodes
+        )
+        print(f"{conv_type:12s} {n_params:8,d} "
+              f"{result.last_loss:11.3f} {accuracy:9.1%}")
+    print("\nAll three consume the same sampled subgraphs, so every "
+          "SmartSAGE storage result applies unchanged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Kronecker fractal expansion: how the paper builds web-scale datasets.
+
+Expands an in-memory Reddit-like graph the way the paper's Section V does
+(Kronecker product with a seed graph), then verifies the two properties
+Fig 13 claims: the power-law degree shape is preserved, and the expanded
+graph densifies (higher average degree), matching Table I's large-scale
+statistics.
+
+Run:  python examples/fractal_expansion.py
+"""
+
+import numpy as np
+
+from repro.graph import (
+    distribution_summary,
+    expansion_factors,
+    kronecker_expand,
+    load_dataset,
+    log_binned_histogram,
+    seed_graph_for,
+    shape_similarity,
+)
+
+
+def ascii_histogram(graph, title, width=40):
+    edges, counts = log_binned_histogram(graph)
+    peak = counts.max() or 1
+    print(title)
+    for lo, count in zip(edges, counts):
+        if count == 0:
+            continue
+        bar = "#" * max(1, int(width * count / peak))
+        print(f"  deg>={lo:8.0f} |{bar}")
+
+
+def main() -> None:
+    base = load_dataset("reddit", variant="in-memory", scale=5e-3).graph
+    print(f"base graph: {base}")
+
+    # The paper expands Reddit 160x nodes / 470x edges; we use a smaller
+    # seed at repo scale -- the *mechanism* is identical.
+    seed = seed_graph_for(
+        node_multiplier=8, edge_multiplier=24,
+        rng=np.random.default_rng(0),
+    )
+    print(f"seed graph: {seed}")
+    expanded = kronecker_expand(base, seed)
+    print(f"expanded:   {expanded}\n")
+
+    factors = expansion_factors(base, expanded)
+    print(f"node multiplier: {factors['node_multiplier']:.1f}x")
+    print(f"edge multiplier: {factors['edge_multiplier']:.1f}x")
+    print(f"avg degree: {factors['base_avg_degree']:.1f} -> "
+          f"{factors['expanded_avg_degree']:.1f} "
+          f"(densified: {factors['densified']})")
+    sim = shape_similarity(base, expanded)
+    print(f"degree-shape similarity: {sim:.3f} (1.0 = identical)\n")
+
+    ascii_histogram(base, "degree distribution (base):")
+    print()
+    ascii_histogram(expanded, "degree distribution (expanded):")
+
+    base_summary = distribution_summary(base)
+    exp_summary = distribution_summary(expanded)
+    print(f"\npower-law fit R^2: base {base_summary['powerlaw_r2']:.2f}, "
+          f"expanded {exp_summary['powerlaw_r2']:.2f}")
+    print("=> expansion preserves the power-law shape while growing the "
+          "graph beyond DRAM capacity -- exactly the regime SmartSAGE "
+          "targets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Train a real GraphSAGE model on a synthetic Amazon-like dataset.
+
+This exercises the *algorithmic* half of the reproduction: the numpy
+GraphSAGE (mean-aggregate convolutions, Adam, cross-entropy) trained with
+the same mini-batch neighbor sampling the system experiments price.
+Training accuracy should climb well above chance.
+
+Run:  python examples/train_graphsage.py
+"""
+
+import numpy as np
+
+from repro.gnn import Adam, FeatureTable, GraphSAGE, NeighborSampler, Trainer
+from repro.graph import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("amazon", variant="in-memory", scale=5e-5,
+                           seed=0)
+    print(f"dataset: {dataset} ({dataset.num_classes} classes, "
+          f"{dataset.feature_dim}-dim features)")
+    features = FeatureTable(dataset.features(noise=0.6))
+    labels = dataset.labels()
+    train_nodes, test_nodes = dataset.train_test_split(0.8)
+
+    sampler = NeighborSampler(dataset.graph, fanouts=(10, 10))
+    model = GraphSAGE(
+        in_dim=dataset.feature_dim,
+        hidden_dim=64,
+        num_classes=dataset.num_classes,
+        num_layers=2,
+        rng=np.random.default_rng(0),
+    )
+    print(f"model: 2-layer GraphSAGE, "
+          f"{model.parameter_count():,} parameters\n")
+    trainer = Trainer(
+        model, sampler, features, labels,
+        Adam(model.parameters(), lr=5e-3),
+        batch_size=128,
+    )
+
+    rng = np.random.default_rng(1)
+    chance = 1.0 / dataset.num_classes
+    for epoch in range(6):
+        result = trainer.fit(train_nodes, epochs=1, rng=rng)
+        acc = trainer.evaluate(test_nodes[:512], rng)
+        print(f"epoch {epoch}: loss {result.last_loss:6.3f}   "
+              f"test accuracy {acc:6.1%}  (chance {chance:.1%})")
+    assert acc > 2 * chance, "training failed to beat chance"
+    print("\ntraining learns: accuracy well above chance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim (the offline environment lacks the `wheel` package,
+so PEP-517 editable installs are unavailable; metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""SmartSAGE (ISCA 2022) reproduction.
+
+A full-stack simulated system for training large-scale GNNs out of NVMe
+storage: graph substrate, SSD/NAND/FTL/NVMe models, host I/O paths, a
+numpy GraphSAGE, the producer-consumer training pipeline, and the
+SmartSAGE in-storage-processing co-design -- plus experiment harnesses
+regenerating every figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import load_dataset, build_system, SamplingWorkload
+    from repro.gnn import NeighborSampler
+    import numpy as np
+
+    ds = load_dataset("reddit", variant="large-scale", scale=1e-5)
+    sampler = NeighborSampler(ds.graph, fanouts=(25, 10))
+    batch = sampler.sample_batch(np.arange(64), np.random.default_rng(0))
+    workload = SamplingWorkload.from_minibatch(batch)
+
+    mmap = build_system("ssd-mmap", ds)
+    isp = build_system("smartsage-hwsw", ds)
+    speedup = (mmap.sampling_engine.batch_cost(workload).total_s
+               / isp.sampling_engine.batch_cost(workload).total_s)
+"""
+
+from repro.config import HardwareParams, default_hardware, scaled_hardware
+from repro.core import (
+    DESIGNS,
+    BatchCost,
+    SamplingWorkload,
+    TrainingSystem,
+    build_gpu_model,
+    build_system,
+)
+from repro.errors import (
+    ConfigError,
+    GraphError,
+    ReproError,
+    SimulationError,
+    StorageError,
+)
+from repro.graph import CSRGraph, GraphDataset, load_dataset
+from repro.pipeline import PipelineResult, run_pipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "HardwareParams",
+    "default_hardware",
+    "scaled_hardware",
+    "CSRGraph",
+    "GraphDataset",
+    "load_dataset",
+    "DESIGNS",
+    "TrainingSystem",
+    "build_system",
+    "build_gpu_model",
+    "BatchCost",
+    "SamplingWorkload",
+    "run_pipeline",
+    "PipelineResult",
+    "ReproError",
+    "SimulationError",
+    "GraphError",
+    "StorageError",
+    "ConfigError",
+]

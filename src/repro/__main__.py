@@ -1,0 +1,73 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro list                      # available experiments
+    python -m repro run fig14                 # one experiment
+    python -m repro run all [--quick]         # everything
+    python -m repro calibrate                 # headline ratios
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SmartSAGE (ISCA 2022) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment name or 'all'")
+    run.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale (faster, compressed ratios)",
+    )
+    sub.add_parser("calibrate", help="print headline ratios vs paper")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, module in ALL_EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:18s} {doc}")
+        return 0
+    if args.command == "calibrate":
+        from repro.experiments import calibration
+
+        print(calibration.render(calibration.run()))
+        return 0
+    # run
+    if args.experiment == "all":
+        from repro.experiments import run_all
+
+        run_all.main(["--quick"] if args.quick else [])
+        return 0
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; try: "
+            + ", ".join(ALL_EXPERIMENTS),
+            file=sys.stderr,
+        )
+        return 2
+    module = ALL_EXPERIMENTS[args.experiment]
+    cfg = (
+        ExperimentConfig(edge_budget=3e5, batch_size=48, n_workloads=6)
+        if args.quick
+        else ExperimentConfig(n_workloads=8)
+    )
+    print(module.render(module.run(cfg)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""SmartSAGE core: the paper's contribution, wired over the substrates."""
+
+from repro.core.accounting import BatchCost, SamplingWorkload
+from repro.core.feature_engines import (
+    DirectIOFeatureEngine,
+    DRAMFeatureEngine,
+    MmapFeatureEngine,
+    PMEMFeatureEngine,
+)
+from repro.core.fpga_csd import FPGACSDSamplingEngine
+from repro.core.isp_control import ISPControlUnit
+from repro.core.nsconfig import NSConfig
+from repro.core.sampling_engines import (
+    DirectIOSamplingEngine,
+    DRAMSamplingEngine,
+    ISPSamplingEngine,
+    MmapSamplingEngine,
+    PMEMSamplingEngine,
+)
+from repro.core.subgraph_generator import ISPBatchPlan, SubgraphGenerator
+from repro.core.systems import (
+    DESIGNS,
+    SSD_DESIGNS,
+    SystemRuntime,
+    TrainingSystem,
+    build_gpu_model,
+    build_system,
+)
+
+__all__ = [
+    "BatchCost",
+    "SamplingWorkload",
+    "NSConfig",
+    "ISPControlUnit",
+    "ISPBatchPlan",
+    "SubgraphGenerator",
+    "DRAMSamplingEngine",
+    "PMEMSamplingEngine",
+    "MmapSamplingEngine",
+    "DirectIOSamplingEngine",
+    "ISPSamplingEngine",
+    "FPGACSDSamplingEngine",
+    "DRAMFeatureEngine",
+    "PMEMFeatureEngine",
+    "MmapFeatureEngine",
+    "DirectIOFeatureEngine",
+    "DESIGNS",
+    "SSD_DESIGNS",
+    "TrainingSystem",
+    "SystemRuntime",
+    "build_system",
+    "build_gpu_model",
+]

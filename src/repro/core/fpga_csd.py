@@ -1,0 +1,89 @@
+"""FPGA-based CSD design point (Samsung SmartSSD, Section VI-D / Fig 19).
+
+Neighbor sampling on an FPGA CSD is a two-step P2P dance: 1) the needed
+edge-list chunks move SSD->FPGA through the device's PCIe switch, 2) the
+FPGA's hardwired gather unit samples out of FPGA DRAM, 3) the dense
+subgraph moves FPGA->CPU.  The gather itself is nearly free; the paper's
+finding -- which this model reproduces structurally -- is that step 1
+transfers the same overfetched chunk volume as the host baseline, so the
+two-step transfer dominates and the design cannot beat SmartSAGE(SW).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import HardwareParams
+from repro.core.accounting import BatchCost, SamplingWorkload
+from repro.core.sampling_engines import SamplingEngineBase
+from repro.errors import ConfigError
+from repro.graph.layout import EdgeListLayout
+from repro.host.direct_io import align_up
+from repro.storage.ssd import SSDevice
+
+__all__ = ["FPGACSDSamplingEngine"]
+
+
+class FPGACSDSamplingEngine(SamplingEngineBase):
+    """Two-step P2P sampling over an FPGA-based CSD."""
+
+    design = "fpga-csd"
+
+    def __init__(
+        self,
+        ssd: SSDevice,
+        layout: EdgeListLayout,
+        hw: Optional[HardwareParams] = None,
+        pipeline_depth: int = 1,
+    ):
+        if pipeline_depth < 1:
+            raise ConfigError("pipeline_depth must be >= 1")
+        self.ssd = ssd
+        self.layout = layout
+        self.hw = hw or ssd.hw
+        #: outstanding P2P chunk fetches the FPGA DMA engine sustains
+        self.pipeline_depth = pipeline_depth
+        self.lba_bytes = ssd.hw.ssd.lba_bytes
+
+    def batch_cost(self, workload: SamplingWorkload) -> BatchCost:
+        fpga = self.hw.fpga
+        fabric = self.ssd.fabric
+        cost = BatchCost(design=self.design)
+        total_chunk_s = 0.0
+        total_targets = 0
+        for targets in workload.hop_targets:
+            nbytes = self.layout.node_bytes(targets)
+            nbytes = nbytes[nbytes > 0]
+            if nbytes.size == 0:
+                continue
+            aligned = align_up(nbytes, self.lba_bytes)
+            # step 1: SSD -> FPGA chunk fetches through the PCIe switch
+            flash = (
+                self.hw.nand.read_latency_s
+                + np.minimum(aligned, self.hw.nand.page_bytes)
+                / self.hw.nand.channel_bandwidth
+                + np.maximum(0, aligned - self.hw.nand.page_bytes)
+                / self.hw.nand.channel_bandwidth
+            )
+            p2p = fpga.p2p_read_overhead_s + aligned / (
+                self.hw.pcie.host_link_bandwidth
+            )
+            total_chunk_s += float((flash + p2p).sum())
+            total_targets += int(aligned.size)
+            cost.bytes_from_ssd += int(aligned.sum())
+            cost.requests += int(aligned.size)
+        ssd_to_fpga = total_chunk_s / self.pipeline_depth
+        cost.add("ssd_to_fpga", ssd_to_fpga)
+        # step 2: hardwired gather over FPGA DRAM (overlapped, tiny)
+        sampling = total_targets * fpga.sample_per_target_s + (
+            workload.total_samples * 8 / fpga.fpga_dram_bandwidth
+        )
+        cost.add("sampling_fpga", sampling)
+        # step 3: dense subgraph FPGA -> CPU
+        cost.add(
+            "fpga_to_cpu",
+            fabric.p2p_transfer_time(workload.subgraph_bytes),
+        )
+        return cost

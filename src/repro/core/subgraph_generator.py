@@ -1,0 +1,95 @@
+"""The in-storage subgraph generator (Fig 11's second firmware component).
+
+Given a sampling workload, the generator plans the device-side work: which
+flash pages the target nodes' edge lists occupy, which of those are
+already resident in the SSD's DRAM page buffer (hub nodes get re-read
+across batches), how much embedded-core time the fine-grained sampling
+gathers take, and how many bytes the dense result DMA carries back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accounting import SamplingWorkload
+from repro.errors import ConfigError
+from repro.graph.layout import EdgeListLayout
+from repro.storage.ssd import SSDevice
+
+__all__ = ["ISPBatchPlan", "SubgraphGenerator"]
+
+
+@dataclass(frozen=True)
+class ISPBatchPlan:
+    """Device-side work amounts for one subgraph-generation command."""
+
+    n_targets: int
+    n_samples: int
+    pages_touched: int       # page references from all edge-list extents
+    pages_from_flash: int    # after SSD DRAM page-buffer hits
+    core_seconds: float      # embedded-core time for the ISP operator
+    return_bytes: int        # dense subgraph DMA-ed back to the host
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        if self.pages_touched == 0:
+            return 0.0
+        return 1.0 - self.pages_from_flash / self.pages_touched
+
+
+class SubgraphGenerator:
+    """Plans ISP work; owns no timing policy (engines time the plan)."""
+
+    def __init__(self, ssd: SSDevice, layout: EdgeListLayout):
+        self.ssd = ssd
+        self.layout = layout
+        self.page_bytes = ssd.nand.page_bytes
+        self.batches_planned = 0
+
+    def plan(self, workload: SamplingWorkload) -> ISPBatchPlan:
+        """Plan the device-side work of a whole-batch command."""
+        return self.plan_span(workload, 0.0, 1.0)
+
+    def plan_span(
+        self,
+        workload: SamplingWorkload,
+        start_frac: float,
+        end_frac: float,
+    ) -> ISPBatchPlan:
+        """Plan one command covering the [start, end) slice of the batch.
+
+        Coalescing granularities below the batch size split the batch into
+        several commands; each sees only its own slice of the target
+        stream, so cross-slice page dedup is lost -- one of the reasons
+        fine granularity hurts in Fig 15.
+        """
+        if not 0.0 <= start_frac < end_frac <= 1.0:
+            raise ConfigError("need 0 <= start < end <= 1")
+        fraction = end_frac - start_frac
+        targets = workload.all_targets()
+        lo = int(np.floor(targets.size * start_frac))
+        hi = max(lo + 1, int(np.floor(targets.size * end_frac)))
+        targets = targets[lo:hi]
+        page_ids = self.layout.flash_page_ids(targets, self.page_bytes)
+        # Dedup within the command: one flash read serves every reference
+        # to the same page; across commands the device page buffer
+        # (stateful) catches re-referenced hub pages.
+        unique_pages = np.unique(page_ids)
+        hits, misses = self.ssd.page_buffer.access_batch(unique_pages)
+        n_samples = int(round(workload.total_samples * fraction))
+        core_s = self.ssd.cores.isp_sampling_cost(
+            n_targets=int(targets.size),
+            n_samples=n_samples,
+            n_pages=int(page_ids.size),
+        )
+        self.batches_planned += 1
+        return ISPBatchPlan(
+            n_targets=int(targets.size),
+            n_samples=n_samples,
+            pages_touched=int(page_ids.size),
+            pages_from_flash=int(misses),
+            core_seconds=core_s,
+            return_bytes=int(round(workload.subgraph_bytes * fraction)),
+        )

@@ -1,0 +1,23 @@
+"""Exception types shared across the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """An invariant of the discrete-event simulation was violated."""
+
+
+class GraphError(ReproError):
+    """Malformed graph structure or invalid graph operation."""
+
+
+class StorageError(ReproError):
+    """Invalid storage request (out-of-range LBA, capacity exceeded...)."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or system configuration."""

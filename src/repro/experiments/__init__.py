@@ -1,0 +1,76 @@
+"""Experiment harness: one module per paper figure/table.
+
+Each module exposes ``run(cfg) -> dict`` (raw results), ``render(result)
+-> str`` (the paper-style table/chart as text), and ``main()``.  See
+DESIGN.md's per-experiment index for the figure-to-module mapping.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    cache_sensitivity,
+    calibration,
+    depth_sensitivity,
+    energy,
+    fidelity,
+    fig05_characterization,
+    fig06_breakdown,
+    fig07_gpu_idle,
+    fig13_degree,
+    fig14_single_worker,
+    fig15_coalescing,
+    fig16_multi_worker,
+    fig17_worker_scaling,
+    fig18_end_to_end,
+    fig19_fpga,
+    fig20_graphsaint,
+    fig21_sampling_rate,
+    sensitivity_batch,
+    table1_datasets,
+)
+from repro.experiments.common import (
+    EVAL_DATASETS,
+    EVAL_DESIGNS,
+    ExperimentConfig,
+    build_eval_system,
+    design_sweep,
+    make_workloads,
+    sampling_throughput,
+    scaled_instance,
+    steady_state_cost,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1_datasets,
+    "fig05": fig05_characterization,
+    "fig06": fig06_breakdown,
+    "fig07": fig07_gpu_idle,
+    "fig13": fig13_degree,
+    "fig14": fig14_single_worker,
+    "fig15": fig15_coalescing,
+    "fig16": fig16_multi_worker,
+    "fig17": fig17_worker_scaling,
+    "fig18": fig18_end_to_end,
+    "fig19": fig19_fpga,
+    "fig20": fig20_graphsaint,
+    "fig21": fig21_sampling_rate,
+    "calibration": calibration,
+    "energy": energy,
+    "batch-sensitivity": sensitivity_batch,
+    "ablations": ablations,
+    "fidelity": fidelity,
+    "cache-sensitivity": cache_sensitivity,
+    "depth-sensitivity": depth_sensitivity,
+}
+
+__all__ = [
+    "ExperimentConfig",
+    "EVAL_DATASETS",
+    "EVAL_DESIGNS",
+    "scaled_instance",
+    "make_workloads",
+    "steady_state_cost",
+    "design_sweep",
+    "build_eval_system",
+    "sampling_throughput",
+    "ALL_EXPERIMENTS",
+]

@@ -1,0 +1,73 @@
+"""Calibration summary: every headline paper ratio from one parameter set.
+
+Runs the cheap subset of every headline measurement and prints measured
+vs paper values side by side.  This is the first thing to run after any
+change to :mod:`repro.config` -- all figures must hold simultaneously.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments import (
+    fig14_single_worker,
+    fig16_multi_worker,
+    fig18_end_to_end,
+)
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.report import format_table
+
+__all__ = ["run", "render", "main"]
+
+
+def run(cfg: Optional[ExperimentConfig] = None) -> dict:
+    cfg = cfg or ExperimentConfig(n_workloads=8)
+    f14 = fig14_single_worker.run(cfg)
+    f16 = fig16_multi_worker.run(cfg)
+    f18 = fig18_end_to_end.run(cfg)
+    return {"fig14": f14, "fig16": f16, "fig18": f18}
+
+
+def render(result: dict) -> str:
+    f14, f16, f18 = result["fig14"], result["fig16"], result["fig18"]
+    rows = [
+        ["fig14 1-worker SW vs mmap (avg)",
+         f"{f14['sw_avg']:.2f}x", "1.5x"],
+        ["fig14 1-worker HW/SW vs mmap (avg)",
+         f"{f14['hwsw_avg']:.2f}x", "10.1x"],
+        ["fig14 1-worker HW/SW vs mmap (max)",
+         f"{f14['hwsw_max']:.2f}x", "12.6x"],
+        ["SSD->CPU data movement reduction",
+         f"{f14['data_movement_reduction_avg']:.1f}x", "~20x"],
+        ["fig16 12-worker HW/SW vs mmap (avg)",
+         f"{f16['hwsw_avg']:.2f}x", "4.4x"],
+        ["fig16 12-worker HW/SW vs mmap (max)",
+         f"{f16['hwsw_max']:.2f}x", "5.5x"],
+        ["fig16 12-worker SW vs mmap (avg)",
+         f"{f16['sw_avg']:.2f}x", "~2.9x"],
+        ["fig18 e2e HW/SW vs mmap (avg)",
+         f"{f18['hwsw_vs_mmap_avg']:.2f}x", "3.5x"],
+        ["fig18 e2e HW/SW vs mmap (max)",
+         f"{f18['hwsw_vs_mmap_max']:.2f}x", "5.0x"],
+        ["fig18 e2e SW vs mmap (avg)",
+         f"{f18['sw_vs_mmap_avg']:.2f}x", "2.5x"],
+        ["fig18 PMEM slowdown vs DRAM",
+         f"{f18['pmem_vs_dram_avg']:.2f}x", "1.2x"],
+        ["fig18 oracle / DRAM performance",
+         f"{f18['oracle_frac_of_dram_avg']:.0%}", "70%"],
+        ["fig18 oracle / PMEM performance",
+         f"{f18['oracle_frac_of_pmem_avg']:.0%}", "90%"],
+    ]
+    return format_table(
+        ["headline metric", "measured", "paper"],
+        rows,
+        title="Calibration: paper headline ratios from one parameter set",
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,197 @@
+"""Shared experiment infrastructure: scaling, workloads, measurement.
+
+Every figure/table experiment goes through these helpers so that scaling
+decisions and measurement protocol are identical across the suite:
+
+* **edge-budget scaling** -- each Table I dataset is shrunk to a fixed
+  edge budget while *preserving its paper average degree*, so per-dataset
+  distinctions (chunk sizes, I/O amplification) survive the scaling;
+* **distinct-batch steady state** -- engines are costed on a stream of
+  different random mini-batches after a warm-up, so cache hit rates
+  reflect genuine cross-batch locality rather than artifact reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import HardwareParams, default_hardware
+from repro.core.accounting import BatchCost, SamplingWorkload
+from repro.core.systems import TrainingSystem, build_system
+from repro.errors import ConfigError
+from repro.graph.datasets import DATASETS, LARGE_SCALE, GraphDataset
+from repro.gnn.saint import SaintRandomWalkSampler
+from repro.gnn.sampler import NeighborSampler
+
+__all__ = [
+    "ExperimentConfig",
+    "scaled_instance",
+    "make_workloads",
+    "steady_state_cost",
+    "design_sweep",
+    "EVAL_DATASETS",
+    "EVAL_DESIGNS",
+]
+
+EVAL_DATASETS = ("reddit", "movielens", "amazon", "ogbn-100m", "protein-pi")
+EVAL_DESIGNS = ("ssd-mmap", "smartsage-sw", "smartsage-hwsw")
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiments (scaled-down paper defaults)."""
+
+    edge_budget: float = 2e6       # edges per materialized dataset
+    batch_size: int = 128          # scaled from the paper's 1024
+    fanouts: tuple = (25, 10)      # paper defaults (Section VI-F)
+    n_workloads: int = 6           # distinct mini-batches in the pool
+    warmup_batches: int = 2
+    seed: int = 0
+    hw: HardwareParams = field(default_factory=default_hardware)
+
+    def replace(self, **kwargs) -> "ExperimentConfig":
+        import dataclasses
+
+        return dataclasses.replace(self, **kwargs)
+
+
+def scaled_instance(
+    name: str,
+    cfg: ExperimentConfig,
+    variant: str = LARGE_SCALE,
+) -> GraphDataset:
+    """Materialize ``name`` at ``cfg.edge_budget`` edges, true avg degree."""
+    if name not in DATASETS:
+        raise ConfigError(f"unknown dataset {name!r}")
+    spec = DATASETS[name]
+    avg_degree = spec.avg_degree(variant)
+    paper_nodes = spec.paper_stats(variant)["nodes"]
+    scale = (cfg.edge_budget / avg_degree) / paper_nodes
+    return spec.instantiate(variant=variant, scale=scale, seed=cfg.seed)
+
+
+def make_workloads(
+    dataset: GraphDataset,
+    cfg: ExperimentConfig,
+    sampler_kind: str = "sage",
+) -> List[SamplingWorkload]:
+    """Sample ``n_workloads`` distinct mini-batches from ``dataset``."""
+    rng = np.random.default_rng(cfg.seed + 1)
+    if sampler_kind == "sage":
+        sampler = NeighborSampler(dataset.graph, fanouts=cfg.fanouts)
+    elif sampler_kind == "saint":
+        sampler = SaintRandomWalkSampler(
+            dataset.graph,
+            num_roots=cfg.batch_size,
+            walk_length=2 * len(cfg.fanouts),
+        )
+    else:
+        raise ConfigError(f"unknown sampler kind {sampler_kind!r}")
+    workloads = []
+    for _ in range(cfg.n_workloads):
+        seeds = rng.integers(0, dataset.num_nodes, size=cfg.batch_size)
+        batch = sampler.sample_batch(seeds, rng)
+        workloads.append(SamplingWorkload.from_minibatch(batch))
+    return workloads
+
+
+def steady_state_cost(
+    engine,
+    workloads: Sequence[SamplingWorkload],
+    warmup: int = 2,
+) -> BatchCost:
+    """Mean per-batch cost after cache warm-up, over distinct batches."""
+    if not workloads:
+        raise ConfigError("need at least one workload")
+    warmup = min(warmup, max(0, len(workloads) - 1))
+    for w in workloads[:warmup]:
+        engine.batch_cost(w)
+    measured = workloads[warmup:]
+    total = BatchCost(design=getattr(engine, "design", None))
+    for w in measured:
+        total.merge(engine.batch_cost(w))
+    n = len(measured)
+    total.total_s /= n
+    total.components = {k: v / n for k, v in total.components.items()}
+    total.bytes_from_ssd //= n
+    total.requests //= n
+    return total
+
+
+def design_sweep(
+    dataset: GraphDataset,
+    designs: Sequence[str],
+    workloads: Sequence[SamplingWorkload],
+    cfg: ExperimentConfig,
+    granularity: Optional[int] = None,
+) -> Dict[str, BatchCost]:
+    """Steady-state sampling cost of each design on the same workloads."""
+    out: Dict[str, BatchCost] = {}
+    for design in designs:
+        system = build_system(
+            design, dataset, hw=cfg.hw,
+            fanouts=cfg.fanouts, granularity=granularity,
+        )
+        out[design] = steady_state_cost(
+            system.sampling_engine, workloads, warmup=cfg.warmup_batches
+        )
+    return out
+
+
+def build_eval_system(
+    design: str,
+    dataset: GraphDataset,
+    cfg: ExperimentConfig,
+    granularity: Optional[int] = None,
+) -> TrainingSystem:
+    """System builder with the experiment's shared configuration."""
+    return build_system(
+        design, dataset, hw=cfg.hw,
+        fanouts=cfg.fanouts, granularity=granularity,
+    )
+
+
+def sampling_throughput(
+    design: str,
+    dataset: GraphDataset,
+    workloads: Sequence[SamplingWorkload],
+    cfg: ExperimentConfig,
+    n_workers: int,
+    n_batches: int,
+) -> float:
+    """Batches/second of ``n_workers`` concurrent producers, sampling
+    only (no feature lookup, no GPU) -- the Fig 14/16/17 measurement.
+
+    Runs in event mode so that workers genuinely contend for the SSD's
+    flash lanes, embedded cores, PCIe link, and the page-cache lock.
+    """
+    from repro.sim.engine import Simulator, all_of
+
+    system = build_eval_system(design, dataset, cfg)
+    warm = min(cfg.warmup_batches, max(0, len(workloads) - 1))
+    for w in workloads[:warm]:
+        system.sampling_engine.batch_cost(w)
+    pool = workloads[warm:]
+    sim = Simulator()
+    runtime = system.attach(sim)
+    counter = {"next": 0}
+
+    def worker():
+        while True:
+            idx = counter["next"]
+            if idx >= n_batches:
+                return
+            counter["next"] += 1
+            yield from system.sampling_engine.batch_process(
+                runtime, pool[idx % len(pool)]
+            )
+
+    procs = [sim.process(worker()) for _ in range(n_workers)]
+    done = all_of(sim, procs)
+    while not done.triggered:
+        if not sim.step():
+            raise ConfigError("sampling throughput run deadlocked")
+    return n_batches / sim.now

@@ -1,0 +1,82 @@
+"""Fidelity validation: analytic vs event mode (DESIGN.md "modes").
+
+The analytic mode composes closed-form per-batch costs; the event mode
+runs the same work through the discrete-event simulator with shared
+resources.  For a single uncontended worker the two must agree closely;
+under contention the event mode is authoritative and the analytic mode
+under-predicts (it ignores queueing).  This experiment quantifies both.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_eval_system,
+    make_workloads,
+    sampling_throughput,
+    scaled_instance,
+    steady_state_cost,
+)
+from repro.experiments.report import format_table
+
+__all__ = ["run", "render", "main"]
+
+_DESIGNS = ("ssd-mmap", "smartsage-sw", "smartsage-hwsw")
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    dataset_name: str = "reddit",
+) -> dict:
+    cfg = cfg or ExperimentConfig(n_workloads=8)
+    ds = scaled_instance(dataset_name, cfg)
+    workloads = make_workloads(ds, cfg)
+    rows = {}
+    for design in _DESIGNS:
+        system = build_eval_system(design, ds, cfg)
+        analytic = steady_state_cost(
+            system.sampling_engine, workloads, cfg.warmup_batches
+        ).total_s
+        event_1w = 1.0 / sampling_throughput(
+            design, ds, workloads, cfg, n_workers=1, n_batches=8
+        )
+        event_8w = 1.0 / sampling_throughput(
+            design, ds, workloads, cfg, n_workers=8, n_batches=24
+        )
+        rows[design] = {
+            "analytic_ms": analytic * 1e3,
+            "event_1w_ms": event_1w * 1e3,
+            "event_8w_interval_ms": event_8w * 1e3,
+            "agreement_1w": event_1w / analytic,
+            # contention factor: how much slower than ideal scaling
+            "contention_8w": (event_8w * 8) / event_1w,
+        }
+    return {"dataset": dataset_name, "designs": rows}
+
+
+def render(result: dict) -> str:
+    rows = [
+        [design,
+         f"{d['analytic_ms']:.2f}",
+         f"{d['event_1w_ms']:.2f}",
+         f"{d['agreement_1w']:.2f}",
+         f"{d['contention_8w']:.2f}"]
+        for design, d in result["designs"].items()
+    ]
+    return format_table(
+        ["design", "analytic ms", "event 1w ms",
+         "event/analytic (1w)", "8w contention factor"],
+        rows,
+        title=f"Fidelity [{result['dataset']}]: analytic vs event mode "
+              "(1w should agree; contention factor >1 under load)",
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

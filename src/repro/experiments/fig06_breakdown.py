@@ -1,0 +1,108 @@
+"""Fig 6 -- end-to-end latency breakdown: DRAM vs mmap-based SSD.
+
+Paper finding: the baseline SSD-centric system (mmap + page cache) is on
+average 9.8x (max 19.6x) slower end-to-end than the oracular in-memory
+system, and neighbor sampling dominates its per-batch latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.systems import build_gpu_model
+from repro.experiments.common import (
+    EVAL_DATASETS,
+    ExperimentConfig,
+    build_eval_system,
+    make_workloads,
+    scaled_instance,
+)
+from repro.experiments.report import format_stacked, format_table
+from repro.pipeline import run_pipeline
+from repro.sim.stats import PhaseBreakdown, geometric_mean
+
+__all__ = ["run", "render", "main", "PAPER_AVG_SLOWDOWN", "PAPER_MAX_SLOWDOWN"]
+
+PAPER_AVG_SLOWDOWN = 9.8
+PAPER_MAX_SLOWDOWN = 19.6
+
+_DESIGNS = ("dram", "ssd-mmap")
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    datasets=EVAL_DATASETS,
+    n_batches: int = 30,
+    n_workers: int = 12,
+) -> dict:
+    cfg = cfg or ExperimentConfig(n_workloads=8)
+    per_dataset = {}
+    for name in datasets:
+        ds = scaled_instance(name, cfg)
+        workloads = make_workloads(ds, cfg)
+        gpu = build_gpu_model(ds, cfg.hw)
+        designs = {}
+        for design in _DESIGNS:
+            system = build_eval_system(design, ds, cfg)
+            for w in workloads[: cfg.warmup_batches]:
+                system.sampling_engine.batch_cost(w)
+            result = run_pipeline(
+                system, gpu, workloads[cfg.warmup_batches:],
+                n_batches=n_batches, n_workers=n_workers, mode="event",
+            )
+            designs[design] = result
+        slowdown = (
+            designs["ssd-mmap"].elapsed_s / designs["dram"].elapsed_s
+        )
+        per_dataset[name] = {
+            "results": designs,
+            "slowdown": slowdown,
+        }
+    slows = [v["slowdown"] for v in per_dataset.values()]
+    return {
+        "per_dataset": per_dataset,
+        "avg_slowdown": geometric_mean(slows),
+        "max_slowdown": max(slows),
+        "paper": {
+            "avg": PAPER_AVG_SLOWDOWN, "max": PAPER_MAX_SLOWDOWN,
+        },
+    }
+
+
+def render(result: dict) -> str:
+    chunks = []
+    phases = PhaseBreakdown.STANDARD_PHASES[:4]
+    for name, data in result["per_dataset"].items():
+        rows = {
+            design: res.phase_means
+            for design, res in data["results"].items()
+        }
+        chunks.append(
+            format_stacked(
+                rows, phases,
+                title=f"Fig 6 [{name}] per-batch latency breakdown "
+                      f"(SSD(mmap) is {data['slowdown']:.1f}x slower e2e)",
+            )
+        )
+    chunks.append(
+        format_table(
+            ["metric", "measured", "paper"],
+            [
+                ["avg e2e slowdown (mmap vs DRAM)",
+                 f"{result['avg_slowdown']:.1f}x",
+                 f"{PAPER_AVG_SLOWDOWN}x"],
+                ["max e2e slowdown",
+                 f"{result['max_slowdown']:.1f}x",
+                 f"{PAPER_MAX_SLOWDOWN}x"],
+            ],
+        )
+    )
+    return "\n\n".join(chunks)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

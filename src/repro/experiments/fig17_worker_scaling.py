@@ -1,0 +1,89 @@
+"""Fig 17 -- SmartSAGE(HW/SW) vs SmartSAGE(SW) as workers scale 1 -> 12.
+
+Paper finding: the HW/SW-over-SW speedup shrinks as CPU-side workers are
+added, because the OpenSSD's dual wimpy cores time-share ISP sampling with
+the base firmware and saturate, while the host path keeps scaling longer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    EVAL_DATASETS,
+    ExperimentConfig,
+    make_workloads,
+    sampling_throughput,
+    scaled_instance,
+)
+from repro.experiments.report import format_table
+
+__all__ = ["run", "render", "main", "WORKER_COUNTS"]
+
+WORKER_COUNTS = (1, 2, 4, 8, 12)
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    datasets=EVAL_DATASETS,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+) -> dict:
+    cfg = cfg or ExperimentConfig(n_workloads=8)
+    per_dataset = {}
+    for name in datasets:
+        ds = scaled_instance(name, cfg)
+        workloads = make_workloads(ds, cfg)
+        speedups = {}
+        for workers in worker_counts:
+            batches = max(8, 3 * workers)
+            hwsw = sampling_throughput(
+                "smartsage-hwsw", ds, workloads, cfg, workers, batches
+            )
+            sw = sampling_throughput(
+                "smartsage-sw", ds, workloads, cfg, workers, batches
+            )
+            speedups[workers] = hwsw / sw
+        per_dataset[name] = speedups
+    return {
+        "per_dataset": per_dataset,
+        "worker_counts": tuple(worker_counts),
+    }
+
+
+def render(result: dict) -> str:
+    counts = result["worker_counts"]
+    rows = []
+    for name, speedups in result["per_dataset"].items():
+        rows.append(
+            [name] + [f"{speedups[w]:.2f}x" for w in counts]
+        )
+    rows.append(
+        ["paper (typical)"]
+        + ["~6.6x" if w == 1 else ("~2x" if w == counts[-1] else "...")
+           for w in counts]
+    )
+    table = format_table(
+        ["dataset"] + [f"{w}w" for w in counts],
+        rows,
+        title="Fig 17: SmartSAGE(HW/SW) speedup over SmartSAGE(SW) "
+              "vs number of CPU-side workers",
+    )
+    declines = all(
+        speedups[counts[0]] > speedups[counts[-1]]
+        for speedups in result["per_dataset"].values()
+    )
+    note = (
+        "\n=> speedup declines with worker count on every dataset "
+        "(embedded cores saturate), as in the paper."
+        if declines
+        else "\nWARNING: expected declining trend not observed!"
+    )
+    return table + note
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Fig 18 -- end-to-end GNN training time across every design point.
+
+Paper findings: SmartSAGE(HW/SW) improves end-to-end training throughput
+by 3.5x average (max 5.0x) over the mmap baseline while still trailing
+the unbuildable DRAM-only oracle; Intel PMEM sits within ~1.2x of DRAM;
+SmartSAGE(oracle) -- a Newport-class CSD with dedicated ISP cores --
+reaches ~70% of DRAM and ~90% of PMEM performance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.systems import build_gpu_model
+from repro.experiments.common import (
+    EVAL_DATASETS,
+    ExperimentConfig,
+    build_eval_system,
+    make_workloads,
+    scaled_instance,
+)
+from repro.experiments.report import format_stacked, format_table
+from repro.pipeline import run_pipeline
+from repro.sim.stats import PhaseBreakdown, geometric_mean
+
+__all__ = ["run", "render", "main", "PAPER", "FIG18_DESIGNS"]
+
+PAPER = {
+    "hwsw_vs_mmap_avg": 3.5,
+    "hwsw_vs_mmap_max": 5.0,
+    "sw_vs_mmap_avg": 2.5,
+    "pmem_vs_dram_slowdown": 1.2,
+    "oracle_frac_of_dram": 0.70,
+    "oracle_frac_of_pmem": 0.90,
+}
+
+FIG18_DESIGNS = (
+    "ssd-mmap", "smartsage-sw", "smartsage-hwsw",
+    "smartsage-oracle", "pmem", "dram",
+)
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    datasets=EVAL_DATASETS,
+    n_batches: int = 30,
+    n_workers: int = 12,
+) -> dict:
+    cfg = cfg or ExperimentConfig(n_workloads=8)
+    per_dataset = {}
+    for name in datasets:
+        ds = scaled_instance(name, cfg)
+        workloads = make_workloads(ds, cfg)
+        gpu = build_gpu_model(ds, cfg.hw)
+        results = {}
+        for design in FIG18_DESIGNS:
+            system = build_eval_system(design, ds, cfg)
+            for w in workloads[: cfg.warmup_batches]:
+                system.sampling_engine.batch_cost(w)
+            results[design] = run_pipeline(
+                system, gpu, workloads[cfg.warmup_batches:],
+                n_batches=n_batches, n_workers=n_workers, mode="event",
+            )
+        elapsed = {d: r.elapsed_s for d, r in results.items()}
+        per_dataset[name] = {
+            "results": results,
+            "elapsed": elapsed,
+            "hwsw_vs_mmap": elapsed["ssd-mmap"]
+            / elapsed["smartsage-hwsw"],
+            "sw_vs_mmap": elapsed["ssd-mmap"] / elapsed["smartsage-sw"],
+            "pmem_vs_dram": elapsed["pmem"] / elapsed["dram"],
+            "oracle_frac_of_dram": elapsed["dram"]
+            / elapsed["smartsage-oracle"],
+            "oracle_frac_of_pmem": elapsed["pmem"]
+            / elapsed["smartsage-oracle"],
+        }
+    hwsw = [v["hwsw_vs_mmap"] for v in per_dataset.values()]
+    sw = [v["sw_vs_mmap"] for v in per_dataset.values()]
+    return {
+        "per_dataset": per_dataset,
+        "hwsw_vs_mmap_avg": geometric_mean(hwsw),
+        "hwsw_vs_mmap_max": max(hwsw),
+        "sw_vs_mmap_avg": geometric_mean(sw),
+        "pmem_vs_dram_avg": geometric_mean(
+            [v["pmem_vs_dram"] for v in per_dataset.values()]
+        ),
+        "oracle_frac_of_dram_avg": geometric_mean(
+            [v["oracle_frac_of_dram"] for v in per_dataset.values()]
+        ),
+        "oracle_frac_of_pmem_avg": geometric_mean(
+            [v["oracle_frac_of_pmem"] for v in per_dataset.values()]
+        ),
+        "paper": PAPER,
+    }
+
+
+def render(result: dict) -> str:
+    chunks = []
+    phases = PhaseBreakdown.STANDARD_PHASES[:4]
+    for name, data in result["per_dataset"].items():
+        rows = {
+            design: data["results"][design].phase_means
+            for design in FIG18_DESIGNS
+        }
+        chunks.append(
+            format_stacked(
+                rows, phases,
+                title=f"Fig 18 [{name}]: per-batch latency breakdown",
+            )
+        )
+    chunks.append(
+        format_table(
+            ["metric", "measured", "paper"],
+            [
+                ["HW/SW vs mmap e2e (avg)",
+                 f"{result['hwsw_vs_mmap_avg']:.2f}x",
+                 f"{PAPER['hwsw_vs_mmap_avg']}x"],
+                ["HW/SW vs mmap e2e (max)",
+                 f"{result['hwsw_vs_mmap_max']:.2f}x",
+                 f"{PAPER['hwsw_vs_mmap_max']}x"],
+                ["SW vs mmap e2e (avg)",
+                 f"{result['sw_vs_mmap_avg']:.2f}x",
+                 f"{PAPER['sw_vs_mmap_avg']}x"],
+                ["PMEM slowdown vs DRAM",
+                 f"{result['pmem_vs_dram_avg']:.2f}x",
+                 f"{PAPER['pmem_vs_dram_slowdown']}x"],
+                ["oracle as fraction of DRAM perf",
+                 f"{result['oracle_frac_of_dram_avg']:.0%}",
+                 f"{PAPER['oracle_frac_of_dram']:.0%}"],
+                ["oracle as fraction of PMEM perf",
+                 f"{result['oracle_frac_of_pmem_avg']:.0%}",
+                 f"{PAPER['oracle_frac_of_pmem']:.0%}"],
+            ],
+        )
+    )
+    return "\n\n".join(chunks)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

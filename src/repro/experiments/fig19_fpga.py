@@ -1,0 +1,93 @@
+"""Fig 19 -- FPGA-based CSD vs SSD(mmap) and SmartSAGE(SW).
+
+Paper finding: offloading sampling to an FPGA CSD (SmartSSD) buys nothing
+-- the two-step P2P transfer (SSD->FPGA of overfetched chunks, then
+FPGA->CPU) dominates, leaving it no faster than software-only SmartSAGE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import (
+    EVAL_DATASETS,
+    ExperimentConfig,
+    design_sweep,
+    make_workloads,
+    scaled_instance,
+)
+from repro.experiments.report import format_stacked, format_table
+from repro.sim.stats import geometric_mean
+
+__all__ = ["run", "render", "main"]
+
+_DESIGNS = ("ssd-mmap", "smartsage-sw", "fpga-csd")
+_FPGA_PHASES = ("ssd_to_fpga", "sampling_fpga", "fpga_to_cpu")
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    datasets=EVAL_DATASETS,
+) -> dict:
+    cfg = cfg or ExperimentConfig()
+    per_dataset = {}
+    for name in datasets:
+        ds = scaled_instance(name, cfg)
+        workloads = make_workloads(ds, cfg)
+        costs = design_sweep(ds, _DESIGNS, workloads, cfg)
+        fpga = costs["fpga-csd"]
+        per_dataset[name] = {
+            "latency_ms": {
+                d: c.total_s * 1e3 for d, c in costs.items()
+            },
+            "fpga_breakdown": dict(fpga.components),
+            "fpga_vs_sw": costs["smartsage-sw"].total_s / fpga.total_s,
+            "transfer_fraction": (
+                fpga.component("ssd_to_fpga")
+                + fpga.component("fpga_to_cpu")
+            ) / fpga.total_s,
+        }
+    ratios = [v["fpga_vs_sw"] for v in per_dataset.values()]
+    return {
+        "per_dataset": per_dataset,
+        "fpga_vs_sw_avg": geometric_mean(ratios),
+    }
+
+
+def render(result: dict) -> str:
+    chunks = []
+    for name, d in result["per_dataset"].items():
+        chunks.append(
+            format_stacked(
+                {"fpga-csd": d["fpga_breakdown"]},
+                _FPGA_PHASES,
+                title=f"Fig 19 [{name}]: FPGA-CSD sampling breakdown "
+                      f"(P2P transfers = "
+                      f"{d['transfer_fraction']:.0%} of time)",
+            )
+        )
+    rows = [
+        [name,
+         f"{d['latency_ms']['ssd-mmap']:.1f}",
+         f"{d['latency_ms']['smartsage-sw']:.1f}",
+         f"{d['latency_ms']['fpga-csd']:.1f}",
+         f"{d['fpga_vs_sw']:.2f}x"]
+        for name, d in result["per_dataset"].items()
+    ]
+    chunks.append(
+        format_table(
+            ["dataset", "mmap ms", "SW ms", "FPGA-CSD ms", "SW/FPGA"],
+            rows,
+            title="FPGA-CSD offers no advantage over SmartSAGE(SW) "
+                  "(paper: 'failing to achieve any performance advantage')",
+        )
+    )
+    return "\n\n".join(chunks)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

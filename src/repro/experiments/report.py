@@ -1,0 +1,107 @@
+"""Plain-text rendering of experiment results (tables and bar charts)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["format_table", "format_bars", "format_stacked", "ratio"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Simple aligned ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_bars(
+    values: Dict[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (one bar per labeled value)."""
+    if not values:
+        return title
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(
+            f"{label.ljust(label_w)} |{bar.ljust(width)}| "
+            f"{_fmt(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_stacked(
+    rows: Dict[str, Dict[str, float]],
+    phases: Sequence[str],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Stacked horizontal bars (the paper's latency-breakdown figures).
+
+    Each row is normalized to the largest row total; segments use one
+    letter per phase.
+    """
+    if not rows:
+        return title
+    totals = {k: sum(v.get(p, 0.0) for p in phases) for k, v in rows.items()}
+    peak = max(totals.values()) or 1.0
+    label_w = max(len(k) for k in rows)
+    letters = {}
+    used = set()
+    for p in phases:
+        pick = next(
+            (ch.upper() for ch in p if ch.isalpha()
+             and ch.upper() not in used),
+            "#",
+        )
+        used.add(pick)
+        letters[p] = pick
+    lines = [title] if title else []
+    legend = "  ".join(f"{letters[p]}={p}" for p in phases)
+    lines.append(f"  [{legend}]")
+    for label, comps in rows.items():
+        bar = ""
+        for phase in phases:
+            seg = int(round(width * comps.get(phase, 0.0) / peak))
+            bar += letters[phase] * seg
+        lines.append(
+            f"{label.ljust(label_w)} |{bar.ljust(width)}| "
+            f"{totals[label] * 1e3:.2f} ms"
+        )
+    return "\n".join(lines)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio for speedup/slowdown reporting."""
+    return numerator / denominator if denominator else float("inf")

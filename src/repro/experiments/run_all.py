@@ -1,0 +1,49 @@
+"""Run every figure/table experiment and print the full report.
+
+Usage::
+
+    python -m repro.experiments.run_all            # default scale
+    python -m repro.experiments.run_all --quick    # reduced scale
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentConfig
+
+__all__ = ["main"]
+
+#: run order (table first, then figures in paper order, calibration last)
+ORDER = (
+    "table1", "fig05", "fig06", "fig07", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "calibration",
+)
+
+
+def main(argv=None) -> None:
+    argv = argv if argv is not None else sys.argv[1:]
+    if "--quick" in argv:
+        cfg = ExperimentConfig(
+            edge_budget=3e5, batch_size=48, n_workloads=6
+        )
+    else:
+        cfg = ExperimentConfig(n_workloads=8)
+    total_start = time.time()
+    for name in ORDER:
+        module = ALL_EXPERIMENTS[name]
+        start = time.time()
+        result = module.run(cfg)
+        elapsed = time.time() - start
+        print("=" * 72)
+        print(f"{name}  ({elapsed:.1f}s)")
+        print("=" * 72)
+        print(module.render(result))
+        print()
+    print(f"total: {time.time() - total_start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""GNN substrate: samplers, features, numpy layers, model, training."""
+
+from repro.gnn.attention import GATConv
+from repro.gnn.features import FeatureTable
+from repro.gnn.layers import (
+    Linear,
+    Parameter,
+    PoolingSAGEConv,
+    ReLU,
+    SAGEConv,
+    max_pool_aggregate,
+    mean_aggregate,
+)
+from repro.gnn.loss import cross_entropy, softmax
+from repro.gnn.metrics import accuracy, confusion_matrix, macro_f1
+from repro.gnn.model import GraphSAGE
+from repro.gnn.optim import SGD, Adam
+from repro.gnn.saint import SaintRandomWalkSampler
+from repro.gnn.sampler import NeighborSampler, sampling_access_trace
+from repro.gnn.subgraph import Block, MiniBatch
+from repro.gnn.trainer import Trainer, TrainResult
+
+__all__ = [
+    "Block",
+    "MiniBatch",
+    "NeighborSampler",
+    "sampling_access_trace",
+    "SaintRandomWalkSampler",
+    "FeatureTable",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "SAGEConv",
+    "PoolingSAGEConv",
+    "GATConv",
+    "mean_aggregate",
+    "max_pool_aggregate",
+    "GraphSAGE",
+    "softmax",
+    "cross_entropy",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainResult",
+    "accuracy",
+    "macro_f1",
+    "confusion_matrix",
+]

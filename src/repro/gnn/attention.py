@@ -1,0 +1,129 @@
+"""Graph attention layer (GAT) -- the paper's "convolutions [41] to
+attentions [75]" scaling trend, as an extension to the GNN substrate.
+
+Single-head GAT over a sampling block: scores
+``e = LeakyReLU(a_src . Wh_src + a_dst . Wh_dst)`` are softmax-normalized
+over each destination's sampled neighbors and used to weight the
+aggregation.  Backward pass is hand-derived, validated by gradcheck in
+the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.gnn.layers import Parameter, glorot
+from repro.gnn.subgraph import Block
+
+__all__ = ["GATConv"]
+
+_LEAK = 0.2
+
+
+def _segment_softmax(scores: np.ndarray, edge_dst: np.ndarray,
+                     num_dst: int) -> np.ndarray:
+    """Softmax of edge scores within each destination's edge group."""
+    maxes = np.full(num_dst, -np.inf)
+    np.maximum.at(maxes, edge_dst, scores)
+    shifted = scores - maxes[edge_dst]
+    exp = np.exp(shifted)
+    sums = np.zeros(num_dst)
+    np.add.at(sums, edge_dst, exp)
+    return exp / np.maximum(sums[edge_dst], 1e-30)
+
+
+class GATConv:
+    """Single-head graph attention convolution over a Block."""
+
+    def __init__(self, in_dim: int, out_dim: int,
+                 rng: np.random.Generator, name: str = "gat"):
+        if in_dim <= 0 or out_dim <= 0:
+            raise ConfigError("GAT dims must be positive")
+        self.weight = Parameter(glorot(in_dim, out_dim, rng), f"{name}.W")
+        self.attn_src = Parameter(
+            glorot(out_dim, 1, rng).ravel(), f"{name}.a_src"
+        )
+        self.attn_dst = Parameter(
+            glorot(out_dim, 1, rng).ravel(), f"{name}.a_dst"
+        )
+        self.bias = Parameter(np.zeros(out_dim), f"{name}.b")
+        self._cache = {}
+
+    def forward(self, block: Block, h_src: np.ndarray) -> np.ndarray:
+        if h_src.shape[0] != block.num_src:
+            raise ConfigError("h_src/block size mismatch")
+        w = self.weight.value
+        z = h_src @ w                                     # (n_src, d_out)
+        z_dst = z[: block.num_dst]
+        if block.num_edges:
+            s_src = z @ self.attn_src.value               # (n_src,)
+            s_dst = z_dst @ self.attn_dst.value           # (n_dst,)
+            raw = s_src[block.edge_src] + s_dst[block.edge_dst]
+            leaky = np.where(raw > 0, raw, _LEAK * raw)
+            alpha = _segment_softmax(
+                leaky, block.edge_dst, block.num_dst
+            )
+            agg = np.zeros_like(z_dst)
+            np.add.at(
+                agg, block.edge_dst,
+                alpha[:, None] * z[block.edge_src],
+            )
+        else:
+            raw = leaky = alpha = np.zeros(0)
+            agg = np.zeros_like(z_dst)
+        out = z_dst + agg + self.bias.value
+        self._cache = {
+            "block": block, "h_src": h_src, "z": z, "raw": raw,
+            "alpha": alpha,
+        }
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise ConfigError("backward before forward")
+        block: Block = self._cache["block"]
+        h_src: np.ndarray = self._cache["h_src"]
+        z: np.ndarray = self._cache["z"]
+        alpha: np.ndarray = self._cache["alpha"]
+        raw: np.ndarray = self._cache["raw"]
+        n_dst = block.num_dst
+
+        self.bias.grad += grad_out.sum(axis=0)
+        grad_z = np.zeros_like(z)
+        grad_z[:n_dst] += grad_out                       # self term
+        if block.num_edges:
+            g_dst_e = grad_out[block.edge_dst]           # (E, d_out)
+            z_src_e = z[block.edge_src]
+            # d/d z_src via the weighted sum
+            np.add.at(grad_z, block.edge_src, alpha[:, None] * g_dst_e)
+            # gradient w.r.t. alpha, then through segment softmax
+            grad_alpha = (g_dst_e * z_src_e).sum(axis=1)  # (E,)
+            weighted = np.zeros(n_dst)
+            np.add.at(weighted, block.edge_dst, alpha * grad_alpha)
+            grad_leaky = alpha * (
+                grad_alpha - weighted[block.edge_dst]
+            )
+            grad_raw = grad_leaky * np.where(raw > 0, 1.0, _LEAK)
+            # raw = a_src . z[src] + a_dst . z[dst]
+            self.attn_src.grad += (
+                grad_raw[:, None] * z[block.edge_src]
+            ).sum(axis=0)
+            self.attn_dst.grad += (
+                grad_raw[:, None] * z[: n_dst][block.edge_dst]
+            ).sum(axis=0)
+            np.add.at(
+                grad_z, block.edge_src,
+                grad_raw[:, None] * self.attn_src.value[None, :],
+            )
+            scatter = grad_raw[:, None] * self.attn_dst.value[None, :]
+            np.add.at(
+                grad_z[:n_dst], block.edge_dst, scatter
+            )
+        self.weight.grad += h_src.T @ grad_z
+        return grad_z @ self.weight.value.T
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.attn_src, self.attn_dst, self.bias]

@@ -1,0 +1,52 @@
+"""Feature table: the dense node-feature matrix (Fig 2 step 3 source)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["FeatureTable"]
+
+
+class FeatureTable:
+    """In-memory feature matrix with gather accounting.
+
+    System-level *timing* of feature lookups is handled by the feature
+    engines in :mod:`repro.core.feature_engines`; this class supplies the
+    actual values for training plus byte accounting shared by both.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ConfigError("feature matrix must be 2-D")
+        self.matrix = matrix
+        self.rows_gathered = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def row_bytes(self) -> int:
+        return self.dim * self.matrix.dtype.itemsize
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_nodes * self.row_bytes
+
+    def gather(self, nodes: np.ndarray) -> np.ndarray:
+        """Fetch feature rows for ``nodes`` (the aggregation input)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
+            raise ConfigError("feature gather out of range")
+        self.rows_gathered += int(nodes.size)
+        return self.matrix[nodes]
+
+    def gather_bytes(self, n_nodes: int) -> int:
+        return n_nodes * self.row_bytes

@@ -1,0 +1,269 @@
+"""Numpy neural-network layers for the GNN backend (Fig 2 step 4).
+
+Implements exactly what GraphSAGE's "convolve" needs: a mean aggregator
+over sampled neighbors, the per-layer dense transform of the concatenated
+(self, aggregate) representation, ReLU, and a linear classifier head --
+with hand-written backward passes so training runs on plain numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.gnn.subgraph import Block
+
+__all__ = [
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "SAGEConv",
+    "PoolingSAGEConv",
+    "mean_aggregate",
+    "max_pool_aggregate",
+]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray, name: str = "param"):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+def glorot(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+class Linear:
+    """y = x @ W + b with cached input for backward."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 name: str = "linear"):
+        if in_dim <= 0 or out_dim <= 0:
+            raise ConfigError("linear layer dims must be positive")
+        self.weight = Parameter(glorot(in_dim, out_dim, rng), f"{name}.W")
+        self.bias = Parameter(np.zeros(out_dim), f"{name}.b")
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise ConfigError("backward before forward")
+        self.weight.grad += self._input.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+
+class ReLU:
+    def __init__(self):
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ConfigError("backward before forward")
+        return grad_out * self._mask
+
+
+def mean_aggregate(block: Block, h_src: np.ndarray) -> np.ndarray:
+    """Mean of each destination's sampled neighbors' representations."""
+    agg = np.zeros((block.num_dst, h_src.shape[1]), dtype=h_src.dtype)
+    if block.num_edges:
+        np.add.at(agg, block.edge_dst, h_src[block.edge_src])
+        counts = np.bincount(
+            block.edge_dst, minlength=block.num_dst
+        ).astype(h_src.dtype)
+        agg /= np.maximum(counts, 1.0)[:, None]
+    return agg
+
+
+def max_pool_aggregate(block: Block, h_src: np.ndarray):
+    """Element-wise max over each destination's sampled neighbors.
+
+    Returns ``(pooled, tie_counts_per_edge_mask)`` where the mask marks,
+    per edge and feature, whether that edge attained the maximum (needed
+    for the backward pass).  Zero-degree destinations pool to 0.
+    """
+    pooled = np.full((block.num_dst, h_src.shape[1]), -np.inf,
+                     dtype=h_src.dtype)
+    if block.num_edges:
+        np.maximum.at(pooled, block.edge_dst, h_src[block.edge_src])
+    empty = ~np.isfinite(pooled)
+    pooled[empty] = 0.0
+    if block.num_edges:
+        argmax_mask = h_src[block.edge_src] == pooled[block.edge_dst]
+    else:
+        argmax_mask = np.zeros((0, h_src.shape[1]), dtype=bool)
+    return pooled, argmax_mask
+
+
+class SAGEConv:
+    """GraphSAGE mean convolution: h' = act(W [h_self || mean(h_nbrs)]).
+
+    ``forward`` consumes a :class:`Block`: source representations in,
+    destination representations out.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        activation: bool = True,
+        name: str = "sage",
+    ):
+        self.linear = Linear(2 * in_dim, out_dim, rng, name=f"{name}.lin")
+        self.act = ReLU() if activation else None
+        self._cache: Dict[str, object] = {}
+
+    def forward(self, block: Block, h_src: np.ndarray) -> np.ndarray:
+        h_self = h_src[: block.num_dst]
+        h_agg = mean_aggregate(block, h_src)
+        combined = np.concatenate([h_self, h_agg], axis=1)
+        out = self.linear.forward(combined)
+        if self.act is not None:
+            out = self.act.forward(out)
+        self._cache = {
+            "block": block,
+            "n_src": h_src.shape[0],
+            "in_dim": h_src.shape[1],
+        }
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. the source representations."""
+        if not self._cache:
+            raise ConfigError("backward before forward")
+        if self.act is not None:
+            grad_out = self.act.backward(grad_out)
+        grad_combined = self.linear.backward(grad_out)
+        block: Block = self._cache["block"]
+        in_dim: int = self._cache["in_dim"]
+        grad_self = grad_combined[:, :in_dim]
+        grad_agg = grad_combined[:, in_dim:]
+        grad_src = np.zeros(
+            (self._cache["n_src"], in_dim), dtype=grad_out.dtype
+        )
+        grad_src[: block.num_dst] += grad_self
+        if block.num_edges:
+            counts = np.bincount(
+                block.edge_dst, minlength=block.num_dst
+            ).astype(grad_out.dtype)
+            scaled = grad_agg / np.maximum(counts, 1.0)[:, None]
+            np.add.at(
+                grad_src, block.edge_src, scaled[block.edge_dst]
+            )
+        return grad_src
+
+    def parameters(self) -> List[Parameter]:
+        return self.linear.parameters()
+
+
+class PoolingSAGEConv:
+    """GraphSAGE *pooling* variant (the pooling function ``p`` of Fig 2):
+
+    ``h' = act(W [h_self || max({ReLU(W_pool h_u)})])``.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        pool_dim: Optional[int] = None,
+        activation: bool = True,
+        name: str = "poolsage",
+    ):
+        pool_dim = pool_dim or in_dim
+        self.pool = Linear(in_dim, pool_dim, rng, name=f"{name}.pool")
+        self.pool_act = ReLU()
+        self.linear = Linear(
+            in_dim + pool_dim, out_dim, rng, name=f"{name}.lin"
+        )
+        self.act = ReLU() if activation else None
+        self._cache: Dict[str, object] = {}
+
+    def forward(self, block: Block, h_src: np.ndarray) -> np.ndarray:
+        transformed = self.pool_act.forward(self.pool.forward(h_src))
+        pooled, argmax_mask = max_pool_aggregate(block, transformed)
+        combined = np.concatenate([h_src[: block.num_dst], pooled],
+                                  axis=1)
+        out = self.linear.forward(combined)
+        if self.act is not None:
+            out = self.act.forward(out)
+        self._cache = {
+            "block": block,
+            "n_src": h_src.shape[0],
+            "in_dim": h_src.shape[1],
+            "argmax_mask": argmax_mask,
+        }
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise ConfigError("backward before forward")
+        if self.act is not None:
+            grad_out = self.act.backward(grad_out)
+        grad_combined = self.linear.backward(grad_out)
+        block: Block = self._cache["block"]
+        in_dim: int = self._cache["in_dim"]
+        argmax_mask: np.ndarray = self._cache["argmax_mask"]
+        grad_self = grad_combined[:, :in_dim]
+        grad_pooled = grad_combined[:, in_dim:]
+        grad_src = np.zeros(
+            (self._cache["n_src"], in_dim), dtype=grad_out.dtype
+        )
+        grad_src[: block.num_dst] += grad_self
+        if block.num_edges:
+            # split the max gradient evenly among tying edges
+            ties = np.zeros(
+                (block.num_dst, grad_pooled.shape[1]),
+                dtype=grad_out.dtype,
+            )
+            np.add.at(ties, block.edge_dst, argmax_mask.astype(
+                grad_out.dtype
+            ))
+            share = argmax_mask / np.maximum(
+                ties[block.edge_dst], 1.0
+            )
+            grad_transformed_edges = share * grad_pooled[block.edge_dst]
+            grad_transformed = np.zeros(
+                (self._cache["n_src"], grad_pooled.shape[1]),
+                dtype=grad_out.dtype,
+            )
+            np.add.at(
+                grad_transformed, block.edge_src, grad_transformed_edges
+            )
+            grad_pool_in = self.pool.backward(
+                self.pool_act.backward(grad_transformed)
+            )
+            grad_src += grad_pool_in
+        return grad_src
+
+    def parameters(self) -> List[Parameter]:
+        return self.pool.parameters() + self.linear.parameters()

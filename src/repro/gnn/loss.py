@@ -1,0 +1,41 @@
+"""Softmax cross-entropy loss with analytic gradient."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["softmax", "cross_entropy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits."""
+    if logits.ndim != 2:
+        raise ConfigError("logits must be 2-D (batch, classes)")
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape[0] != logits.shape[0]:
+        raise ConfigError("labels/logits batch mismatch")
+    if labels.size and (
+        labels.min() < 0 or labels.max() >= logits.shape[1]
+    ):
+        raise ConfigError("label out of range")
+    n = logits.shape[0]
+    probs = softmax(logits)
+    picked = probs[np.arange(n), labels]
+    loss = float(-np.log(np.maximum(picked, 1e-12)).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad

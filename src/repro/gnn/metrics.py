@@ -1,0 +1,54 @@
+"""Classification metrics for GNN evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["accuracy", "macro_f1", "confusion_matrix"]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    labels = np.asarray(labels)
+    if logits.shape[0] != labels.shape[0]:
+        raise ConfigError("logits/labels mismatch")
+    if labels.size == 0:
+        return 0.0
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def confusion_matrix(
+    pred: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    pred = np.asarray(pred, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if pred.shape != labels.shape:
+        raise ConfigError("pred/labels mismatch")
+    mat = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(mat, (labels, pred), 1)
+    return mat
+
+
+def macro_f1(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Unweighted mean F1 across classes present in the labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.size == 0:
+        return 0.0
+    num_classes = logits.shape[1]
+    pred = logits.argmax(axis=1)
+    mat = confusion_matrix(pred, labels, num_classes)
+    f1s = []
+    for c in range(num_classes):
+        tp = mat[c, c]
+        fp = mat[:, c].sum() - tp
+        fn = mat[c, :].sum() - tp
+        if tp + fn == 0:
+            continue  # class absent from labels
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn)
+        if precision + recall == 0:
+            f1s.append(0.0)
+        else:
+            f1s.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(f1s)) if f1s else 0.0

@@ -1,0 +1,97 @@
+"""Optimizers for the numpy GNN: SGD (with momentum) and Adam."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.gnn.layers import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ConfigError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError("momentum must be in [0, 1)")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for p in self.parameters:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            if self.momentum:
+                v = self._velocity.setdefault(
+                    id(p), np.zeros_like(p.value)
+                )
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.value -= self.lr * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ConfigError("learning rate must be positive")
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ConfigError("betas must be in [0, 1)")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.b1, self.b2 = b1, b2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self._t += 1
+        for p in self.parameters:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            m = self._m.setdefault(id(p), np.zeros_like(p.value))
+            v = self._v.setdefault(id(p), np.zeros_like(p.value))
+            m *= self.b1
+            m += (1 - self.b1) * grad
+            v *= self.b2
+            v += (1 - self.b2) * grad * grad
+            m_hat = m / (1 - self.b1 ** self._t)
+            v_hat = v / (1 - self.b2 ** self._t)
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,105 @@
+"""GraphSAINT random-walk sampling (the paper's Section VI-F sensitivity).
+
+GraphSAINT builds each training subgraph from random walks: ``num_roots``
+root nodes each walk ``walk_length`` steps, and the subgraph is induced on
+the visited nodes.  From the storage system's perspective the crucial
+difference from GraphSAGE is the *dependent chain*: step ``i+1``'s
+edge-list read depends on step ``i``'s result, and only one neighbor is
+kept per node per step -- so host-side I/O latency hurts even more, and
+the ISP's dense output helps even more (Fig 20's larger 8.2x speedup).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.gnn.subgraph import Block, MiniBatch
+
+__all__ = ["SaintRandomWalkSampler"]
+
+
+class SaintRandomWalkSampler:
+    """Random-walk subgraph sampler in the GraphSAINT style."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        num_roots: int = 2000,
+        walk_length: int = 2,
+        record_positions: bool = False,
+    ):
+        if num_roots <= 0 or walk_length <= 0:
+            raise ConfigError("num_roots and walk_length must be positive")
+        self.graph = graph
+        self.num_roots = num_roots
+        self.walk_length = walk_length
+        self.record_positions = record_positions
+
+    def sample_batch(
+        self, seeds: np.ndarray, rng: np.random.Generator
+    ) -> MiniBatch:
+        """Walk from ``seeds``; induce blocks on the visited node set.
+
+        ``seeds`` are the walk roots (callers typically pass
+        ``num_roots`` random training nodes).
+        """
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if seeds.size == 0:
+            raise ConfigError("cannot walk from an empty root set")
+        frontier = seeds
+        hop_targets: List[np.ndarray] = []
+        hop_samples: List[int] = []
+        positions: List[np.ndarray] = []
+        visited = [seeds]
+        steps: List[tuple] = []
+        for _step in range(self.walk_length):
+            result = self.graph.sample_neighbors(
+                frontier, 1, rng, replace=True,
+                return_positions=self.record_positions,
+            )
+            if self.record_positions:
+                samples, offsets, pos = result
+                positions.append(pos)
+            else:
+                samples, offsets = result
+            counts = np.diff(offsets)
+            hop_targets.append(frontier)
+            hop_samples.append(int(samples.size))
+            # Walkers at zero-degree nodes stay put.
+            nxt = frontier.copy()
+            nxt[counts > 0] = samples
+            steps.append((frontier, nxt, counts))
+            visited.append(nxt)
+            frontier = nxt
+        # Build one block per walk step (dst = where walkers were, src
+        # includes where they went), mirroring the subgraph induction.
+        blocks: List[Block] = []
+        for where, went, counts in reversed(steps):
+            uniq, inverse = np.unique(went, return_inverse=True)
+            src = np.concatenate([where, uniq])
+            edge_src = where.size + inverse
+            edge_dst = np.arange(where.size, dtype=np.int64)
+            blocks.append(
+                Block(
+                    dst=where, src=src,
+                    edge_src=edge_src.astype(np.int64),
+                    edge_dst=edge_dst,
+                )
+            )
+        return MiniBatch(
+            seeds=seeds,
+            blocks=blocks,
+            hop_targets=hop_targets,
+            hop_samples=hop_samples,
+            sampled_positions=(
+                np.concatenate(positions) if positions else None
+            ),
+        )
+
+    def node_budget(self) -> int:
+        """Approximate subgraph size (roots x (walk_length + 1))."""
+        return self.num_roots * (self.walk_length + 1)

@@ -1,0 +1,110 @@
+"""Mini-batch subgraph structures (the output of Fig 2 steps 1-2).
+
+A :class:`MiniBatch` carries two views of the same sampled subgraph:
+
+* **message-flow blocks** for the GNN math: per layer, a bipartite block
+  mapping source-node features to destination-node aggregates (the same
+  structure DGL calls an MFG);
+* **storage workload** for the system models: which nodes' edge-list
+  chunks were read per hop, how many neighbors were sampled, and how big
+  the dense sampled subgraph is -- everything a sampling engine needs to
+  cost the batch on a given design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["Block", "MiniBatch"]
+
+
+@dataclass
+class Block:
+    """One bipartite message-flow block (sources -> destinations).
+
+    ``src`` always begins with ``dst`` (self features first), so
+    ``h_src[: len(dst)]`` are the destinations' own representations.
+    """
+
+    dst: np.ndarray        # destination node IDs
+    src: np.ndarray        # source node IDs (dst first, then neighbors)
+    edge_src: np.ndarray   # per sampled edge: index into src
+    edge_dst: np.ndarray   # per sampled edge: index into dst
+
+    @property
+    def num_dst(self) -> int:
+        return int(self.dst.size)
+
+    @property
+    def num_src(self) -> int:
+        return int(self.src.size)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_src.size)
+
+    def validate(self) -> None:
+        assert self.edge_src.size == self.edge_dst.size
+        if self.edge_src.size:
+            assert self.edge_src.max() < self.num_src
+            assert self.edge_dst.max() < self.num_dst
+        assert np.array_equal(self.src[: self.num_dst], self.dst)
+
+
+@dataclass
+class MiniBatch:
+    """A sampled training mini-batch plus its storage workload."""
+
+    seeds: np.ndarray
+    #: forward order: blocks[0] consumes raw features (largest frontier)
+    blocks: List[Block]
+    #: per sampling hop (outward from the seeds): the nodes whose
+    #: edge-list chunks were read from storage
+    hop_targets: List[np.ndarray] = field(default_factory=list)
+    #: per hop: number of sampled neighbor entries (8-byte reads)
+    hop_samples: List[int] = field(default_factory=list)
+    #: flat positions into the CSR indices array that the sampler read
+    #: (populated on request; drives the Fig 5 LLC trace)
+    sampled_positions: Optional[np.ndarray] = None
+
+    @property
+    def input_nodes(self) -> np.ndarray:
+        """Nodes whose raw feature rows the batch needs."""
+        return self.blocks[0].src if self.blocks else self.seeds
+
+    @property
+    def num_seeds(self) -> int:
+        return int(self.seeds.size)
+
+    @property
+    def total_targets(self) -> int:
+        """Edge-list chunks fetched from storage (all hops)."""
+        return int(sum(t.size for t in self.hop_targets))
+
+    @property
+    def total_samples(self) -> int:
+        """Total sampled neighbor entries across hops."""
+        return int(sum(self.hop_samples))
+
+    def all_target_nodes(self) -> np.ndarray:
+        if not self.hop_targets:
+            return self.seeds
+        return np.concatenate(self.hop_targets)
+
+    def subgraph_bytes(self, id_bytes: int = 8) -> int:
+        """Size of the dense sampled subgraph (target IDs + sampled
+        neighbor IDs) -- what the ISP returns over PCIe (Fig 10b)."""
+        return (self.total_targets + self.total_samples) * id_bytes
+
+    def summary(self) -> dict:
+        return {
+            "seeds": self.num_seeds,
+            "layers": len(self.blocks),
+            "targets": self.total_targets,
+            "samples": self.total_samples,
+            "input_nodes": int(self.input_nodes.size),
+            "edges": sum(b.num_edges for b in self.blocks),
+        }

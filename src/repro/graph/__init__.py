@@ -1,0 +1,66 @@
+"""Graph substrate: CSR structure, generators, datasets, storage layout."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import (
+    DATASET_NAMES,
+    DATASETS,
+    DatasetSpec,
+    GraphDataset,
+    load_dataset,
+    table1_rows,
+)
+from repro.graph.degree import (
+    degree_histogram,
+    distribution_summary,
+    gini_coefficient,
+    log_binned_histogram,
+    powerlaw_fit,
+    shape_similarity,
+)
+from repro.graph.generators import (
+    complete_graph,
+    powerlaw_graph,
+    rmat_graph,
+    uniform_graph,
+)
+from repro.graph.io import (
+    load_dataset_file,
+    load_graph,
+    save_dataset,
+    save_graph,
+)
+from repro.graph.kronecker import (
+    expansion_factors,
+    kronecker_expand,
+    seed_graph_for,
+)
+from repro.graph.layout import EdgeListLayout, FeatureTableLayout
+
+__all__ = [
+    "CSRGraph",
+    "DatasetSpec",
+    "GraphDataset",
+    "DATASETS",
+    "DATASET_NAMES",
+    "load_dataset",
+    "table1_rows",
+    "degree_histogram",
+    "log_binned_histogram",
+    "powerlaw_fit",
+    "gini_coefficient",
+    "distribution_summary",
+    "shape_similarity",
+    "rmat_graph",
+    "powerlaw_graph",
+    "uniform_graph",
+    "complete_graph",
+    "kronecker_expand",
+    "seed_graph_for",
+    "expansion_factors",
+    "EdgeListLayout",
+    "FeatureTableLayout",
+    "save_graph",
+    "load_graph",
+    "save_dataset",
+    "load_dataset_file",
+]

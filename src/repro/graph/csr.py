@@ -1,0 +1,258 @@
+"""Compressed-sparse-row graph: the neighbor edge-list array of the paper.
+
+The paper stores graphs "compressed in CSR format" (Section V); the
+``indices`` array is exactly the *neighbor edge list array* that SmartSAGE
+offloads to the SSD, and ``indptr`` gives each node's extent inside it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable directed graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64[num_nodes + 1]`` -- prefix sums of out-degrees.
+    indices:
+        ``int32/int64[num_edges]`` -- concatenated neighbor ID lists.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphError("indptr and indices must be 1-D arrays")
+        if indptr.size == 0:
+            raise GraphError("indptr must have at least one entry")
+        if indptr[0] != 0:
+            raise GraphError("indptr must start at 0")
+        if indptr[-1] != indices.size:
+            raise GraphError(
+                f"indptr[-1]={indptr[-1]} != len(indices)={indices.size}"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        num_nodes = indptr.size - 1
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= num_nodes
+        ):
+            raise GraphError("neighbor IDs out of range")
+        self.indptr = indptr
+        self.indices = indices
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        src: Iterable[int],
+        dst: Iterable[int],
+        num_nodes: Optional[int] = None,
+    ) -> "CSRGraph":
+        """Build from parallel source/destination arrays (COO form)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise GraphError("src and dst must have the same length")
+        if num_nodes is None:
+            num_nodes = int(max(src.max(), dst.max())) + 1 if src.size else 0
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise GraphError("negative node IDs")
+        if src.size and (src.max() >= num_nodes or dst.max() >= num_nodes):
+            raise GraphError("node IDs exceed num_nodes")
+        order = np.argsort(src, kind="stable")
+        src_sorted = src[order]
+        dst_sorted = dst[order]
+        counts = np.bincount(src_sorted, minlength=num_nodes)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        dtype = np.int32 if num_nodes <= np.iinfo(np.int32).max else np.int64
+        return cls(indptr, dst_sorted.astype(dtype))
+
+    @classmethod
+    def from_adjacency(cls, adj: Iterable[Iterable[int]]) -> "CSRGraph":
+        """Build from a list of per-node neighbor lists."""
+        adj = list(adj)
+        indptr = np.zeros(len(adj) + 1, dtype=np.int64)
+        for i, nbrs in enumerate(adj):
+            indptr[i + 1] = indptr[i] + len(nbrs)
+        indices = np.fromiter(
+            (v for nbrs in adj for v in nbrs),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        return cls(indptr, indices)
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indptr[-1])
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def degrees(self, nodes: Optional[np.ndarray] = None) -> np.ndarray:
+        """Out-degrees for ``nodes`` (default: every node), vectorized."""
+        if nodes is None:
+            return np.diff(self.indptr)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return self.indptr[nodes + 1] - self.indptr[nodes]
+
+    @property
+    def average_degree(self) -> float:
+        return self.num_edges / self.num_nodes if self.num_nodes else 0.0
+
+    def neighbors(self, node: int) -> np.ndarray:
+        self._check_node(node)
+        return self.indices[self.indptr[node]: self.indptr[node + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(np.any(self.neighbors(u) == v))
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(
+                f"node {node} out of range [0, {self.num_nodes})"
+            )
+
+    def nbytes(self, id_bytes: int = 8) -> int:
+        """Size of the neighbor edge-list array at ``id_bytes`` per entry.
+
+        The paper reads 8-byte entries during sampling (Section III-B).
+        """
+        return self.num_edges * id_bytes
+
+    # -- neighbor sampling --------------------------------------------------
+
+    def sample_neighbors(
+        self,
+        targets: np.ndarray,
+        fanout: int,
+        rng: np.random.Generator,
+        replace: bool = True,
+        return_positions: bool = False,
+    ):
+        """Sample up to ``fanout`` neighbors of every target node.
+
+        This is Algorithm 1 of the paper: for each target, ``RandomSelect``
+        from its neighborhood ``fanout`` times.  With ``replace=True`` (the
+        literal algorithm) duplicates can occur; ``replace=False`` gives
+        DGL/PyG-style sampling without replacement, returning all neighbors
+        when the degree is below the fanout.
+
+        Returns
+        -------
+        samples:
+            flat ``int64`` array of sampled neighbor IDs.
+        offsets:
+            ``int64[len(targets) + 1]`` -- per-target extents in ``samples``.
+        positions (only when ``return_positions``):
+            flat indices into :attr:`indices` of each sampled entry -- the
+            exact memory locations the sampler reads (Fig 5 trace).
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        if fanout <= 0:
+            raise GraphError(f"fanout must be positive, got {fanout}")
+        if targets.size and (
+            targets.min() < 0 or targets.max() >= self.num_nodes
+        ):
+            raise GraphError("sampling target out of range")
+        degs = self.degrees(targets)
+        starts = self.indptr[targets]
+        if replace:
+            counts = np.where(degs > 0, fanout, 0).astype(np.int64)
+            offsets = np.zeros(targets.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            nz = degs > 0
+            if not np.any(nz):
+                empty = np.empty(0, dtype=np.int64)
+                return (empty, offsets, empty) if return_positions else (
+                    empty, offsets
+                )
+            picks = rng.random((targets.size, fanout))
+            picks = (picks * degs[:, None]).astype(np.int64)
+            flat_pos = (starts[:, None] + picks)[nz].ravel()
+            samples = self.indices[flat_pos].astype(np.int64)
+            if return_positions:
+                return samples, offsets, flat_pos
+            return samples, offsets
+        # Without replacement: exact, per-row.
+        chunks = []
+        pos_chunks = []
+        counts = np.minimum(degs, fanout).astype(np.int64)
+        offsets = np.zeros(targets.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        for i in range(targets.size):
+            deg = degs[i]
+            if deg == 0:
+                continue
+            row = self.indices[starts[i]: starts[i] + deg]
+            if deg <= fanout:
+                chunks.append(np.asarray(row, dtype=np.int64))
+                pos_chunks.append(starts[i] + np.arange(deg, dtype=np.int64))
+            else:
+                sel = rng.choice(deg, size=fanout, replace=False)
+                chunks.append(np.asarray(row[sel], dtype=np.int64))
+                pos_chunks.append(starts[i] + np.asarray(sel, dtype=np.int64))
+        if not chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return (empty, offsets, empty) if return_positions else (
+                empty, offsets
+            )
+        samples = np.concatenate(chunks)
+        if return_positions:
+            return samples, offsets, np.concatenate(pos_chunks)
+        return samples, offsets
+
+    # -- transforms ----------------------------------------------------------
+
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (in-edges become out-edges)."""
+        src = np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+        )
+        return CSRGraph.from_edges(
+            self.indices.astype(np.int64), src, num_nodes=self.num_nodes
+        )
+
+    def to_undirected(self) -> "CSRGraph":
+        """Symmetrize by adding every reverse edge (duplicates kept)."""
+        src = np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+        )
+        dst = self.indices.astype(np.int64)
+        return CSRGraph.from_edges(
+            np.concatenate([src, dst]),
+            np.concatenate([dst, src]),
+            num_nodes=self.num_nodes,
+        )
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (src, dst) pairs; test-sized graphs only."""
+        for u in range(self.num_nodes):
+            for v in self.neighbors(u):
+                yield (u, int(v))
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"avg_degree={self.average_degree:.1f})"
+        )

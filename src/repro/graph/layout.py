@@ -1,0 +1,179 @@
+"""Byte/LBA layout of graph data on storage (Fig 10's edge-list array).
+
+The neighbor edge-list array is stored sequentially on the SSD: node 0's
+neighbor IDs, then node 1's, and so on, each entry ``id_bytes`` wide (the
+paper samples with 8-byte reads).  The feature table is a dense row-major
+matrix.  These layouts translate node IDs into LBA extents, which is what
+every I/O path (mmap, direct I/O, ISP flash reads) operates on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["EdgeListLayout", "FeatureTableLayout"]
+
+
+class EdgeListLayout:
+    """LBA layout of the CSR ``indices`` (neighbor edge-list) array."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        id_bytes: int = 8,
+        lba_bytes: int = 4096,
+        base_byte: int = 0,
+    ):
+        if id_bytes <= 0 or lba_bytes <= 0:
+            raise StorageError("id_bytes and lba_bytes must be positive")
+        if base_byte % lba_bytes != 0:
+            raise StorageError("base_byte must be LBA-aligned")
+        self.graph = graph
+        self.id_bytes = id_bytes
+        self.lba_bytes = lba_bytes
+        self.base_byte = base_byte
+
+    @property
+    def total_bytes(self) -> int:
+        return self.graph.num_edges * self.id_bytes
+
+    @property
+    def total_lbas(self) -> int:
+        return -(-self.total_bytes // self.lba_bytes) if self.total_bytes else 0
+
+    @property
+    def base_lba(self) -> int:
+        return self.base_byte // self.lba_bytes
+
+    @property
+    def end_byte(self) -> int:
+        """First byte past this region (where the next region may start)."""
+        end = self.base_byte + self.total_bytes
+        return -(-end // self.lba_bytes) * self.lba_bytes
+
+    def node_extent(self, node: int) -> Tuple[int, int]:
+        """(absolute byte offset, byte length) of one node's edge list."""
+        start = int(self.graph.indptr[node])
+        end = int(self.graph.indptr[node + 1])
+        return (
+            self.base_byte + start * self.id_bytes,
+            (end - start) * self.id_bytes,
+        )
+
+    def node_blocks(
+        self, nodes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized: (first LBA, LBA count) per node.
+
+        A node with an empty edge list gets a count of 0.  This is the
+        quantity Fig 10(a) depicts: the baseline host fetches *every* one
+        of these blocks per target node, regardless of the sampling fanout.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        start_b = self.base_byte + self.graph.indptr[nodes] * self.id_bytes
+        end_b = self.base_byte + self.graph.indptr[nodes + 1] * self.id_bytes
+        first = start_b // self.lba_bytes
+        last = (end_b - 1) // self.lba_bytes
+        counts = np.where(end_b > start_b, last - first + 1, 0)
+        return first.astype(np.int64), counts.astype(np.int64)
+
+    def node_bytes(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorized edge-list byte length per node."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return (
+            self.graph.indptr[nodes + 1] - self.graph.indptr[nodes]
+        ) * self.id_bytes
+
+    def flash_page_ids(
+        self, nodes: np.ndarray, page_bytes: int
+    ) -> np.ndarray:
+        """Concatenated flash-page IDs covering each node's edge list.
+
+        Unlike :meth:`flash_pages` (counts only), this returns the actual
+        page-ID stream, which the ISP model feeds through the SSD's DRAM
+        page buffer to find re-referenced pages (hub nodes).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        start_b = self.base_byte + self.graph.indptr[nodes] * self.id_bytes
+        end_b = self.base_byte + self.graph.indptr[nodes + 1] * self.id_bytes
+        first = start_b // page_bytes
+        last = (end_b - 1) // page_bytes
+        counts = np.where(end_b > start_b, last - first + 1, 0)
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = np.repeat(first, counts)
+        cum = np.cumsum(counts) - counts
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
+        return starts + offsets
+
+    def flash_pages(
+        self, nodes: np.ndarray, page_bytes: int
+    ) -> np.ndarray:
+        """Vectorized count of flash pages covering each node's list.
+
+        Used by the ISP model: the subgraph generator issues one flash page
+        read per page spanned by a target's neighbor list (Section IV-B:
+        "can potentially require multiple flash page read requests").
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        start_b = self.base_byte + self.graph.indptr[nodes] * self.id_bytes
+        end_b = self.base_byte + self.graph.indptr[nodes + 1] * self.id_bytes
+        first = start_b // page_bytes
+        last = (end_b - 1) // page_bytes
+        return np.where(end_b > start_b, last - first + 1, 0).astype(np.int64)
+
+
+class FeatureTableLayout:
+    """LBA layout of the dense node-feature matrix."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        feature_dim: int,
+        dtype_bytes: int = 4,
+        lba_bytes: int = 4096,
+        base_byte: int = 0,
+    ):
+        if num_nodes < 0 or feature_dim <= 0 or dtype_bytes <= 0:
+            raise StorageError("invalid feature table geometry")
+        if base_byte % lba_bytes != 0:
+            raise StorageError("base_byte must be LBA-aligned")
+        self.num_nodes = num_nodes
+        self.feature_dim = feature_dim
+        self.dtype_bytes = dtype_bytes
+        self.lba_bytes = lba_bytes
+        self.base_byte = base_byte
+
+    @property
+    def row_bytes(self) -> int:
+        return self.feature_dim * self.dtype_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_nodes * self.row_bytes
+
+    @property
+    def total_lbas(self) -> int:
+        return -(-self.total_bytes // self.lba_bytes) if self.total_bytes else 0
+
+    def row_extent(self, node: int) -> Tuple[int, int]:
+        if not 0 <= node < self.num_nodes:
+            raise StorageError(f"feature row {node} out of range")
+        return (self.base_byte + node * self.row_bytes, self.row_bytes)
+
+    def row_blocks(
+        self, nodes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized (first LBA, LBA count) per feature row."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        start_b = self.base_byte + nodes * self.row_bytes
+        end_b = start_b + self.row_bytes
+        first = start_b // self.lba_bytes
+        last = (end_b - 1) // self.lba_bytes
+        return first.astype(np.int64), (last - first + 1).astype(np.int64)

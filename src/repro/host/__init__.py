@@ -1,0 +1,22 @@
+"""Host I/O stack: page cache, mmap, direct I/O, scratchpad, drivers."""
+
+from repro.host.direct_io import DirectIOOutcome, DirectIOReader, align_up
+from repro.host.driver import SamplingCommandPlan, SmartSAGEDriver
+from repro.host.mmap_io import MmapOutcome, MmapReader, expand_extents
+from repro.host.pagecache import OSPageCache
+from repro.host.scratchpad import Scratchpad
+from repro.host.syscall import HostSoftware
+
+__all__ = [
+    "HostSoftware",
+    "OSPageCache",
+    "Scratchpad",
+    "MmapReader",
+    "MmapOutcome",
+    "expand_extents",
+    "DirectIOReader",
+    "DirectIOOutcome",
+    "align_up",
+    "SmartSAGEDriver",
+    "SamplingCommandPlan",
+]

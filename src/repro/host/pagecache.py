@@ -1,0 +1,96 @@
+"""The OS page cache: an LRU of 4 KiB pages in host DRAM.
+
+The baseline SSD-centric system (Fig 3b) reads the graph through mmap, so
+every access goes through this cache.  The paper's point is that neighbor
+sampling's access stream has so little locality that the cache's hit rate
+stays low while its maintenance costs (faults, lock) are paid on every
+miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["OSPageCache"]
+
+
+class OSPageCache:
+    """Exact-LRU page cache over page IDs (LBA-sized pages)."""
+
+    def __init__(self, capacity_bytes: int, page_bytes: int = 4096):
+        if page_bytes <= 0:
+            raise ConfigError("page_bytes must be positive")
+        self.capacity_pages = max(1, capacity_bytes // page_bytes)
+        self.page_bytes = page_bytes
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._lru
+
+    def access(self, page: int) -> bool:
+        """Touch one page; faults it in on miss. Returns True on hit."""
+        if page in self._lru:
+            self._lru.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._lru[page] = None
+        if len(self._lru) > self.capacity_pages:
+            self._lru.popitem(last=False)
+        return False
+
+    def access_batch(self, pages: np.ndarray) -> int:
+        """Touch pages in order; returns the number of hits."""
+        hits = 0
+        lru = self._lru
+        cap = self.capacity_pages
+        for p in np.asarray(pages).tolist():
+            if p in lru:
+                lru.move_to_end(p)
+                hits += 1
+            else:
+                lru[p] = None
+                if len(lru) > cap:
+                    lru.popitem(last=False)
+        n = int(np.asarray(pages).size)
+        self.hits += hits
+        self.misses += n - hits
+        return hits
+
+    def access_batch_mask(self, pages: np.ndarray) -> np.ndarray:
+        """Touch pages in order; returns the per-page hit mask."""
+        pages = np.asarray(pages)
+        mask = np.zeros(pages.size, dtype=bool)
+        lru = self._lru
+        cap = self.capacity_pages
+        hits = 0
+        for i, p in enumerate(pages.tolist()):
+            if p in lru:
+                lru.move_to_end(p)
+                mask[i] = True
+                hits += 1
+            else:
+                lru[p] = None
+                if len(lru) > cap:
+                    lru.popitem(last=False)
+        self.hits += hits
+        self.misses += int(pages.size) - hits
+        return mask
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def drop(self) -> None:
+        """Drop all cached pages (echo 3 > drop_caches)."""
+        self._lru.clear()

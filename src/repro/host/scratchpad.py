@@ -1,0 +1,75 @@
+"""SmartSAGE's user-space scratchpad buffer.
+
+With direct I/O the OS page cache is bypassed entirely, so the SmartSAGE
+runtime allocates its own user-space buffer and "manually orchestrates
+high locality data movements" (Section IV-C).  We model it as an LRU over
+application-level keys -- node IDs rather than file pages -- because the
+runtime knows exactly which node's edge list or feature row it holds.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["Scratchpad"]
+
+
+class Scratchpad:
+    """LRU of application objects with a byte-budgeted capacity."""
+
+    def __init__(self, capacity_bytes: int, avg_entry_bytes: int):
+        if avg_entry_bytes <= 0:
+            raise ConfigError("avg_entry_bytes must be positive")
+        self.capacity_entries = max(1, capacity_bytes // avg_entry_bytes)
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._lru
+
+    def access(self, key: int) -> bool:
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._lru[key] = None
+        if len(self._lru) > self.capacity_entries:
+            self._lru.popitem(last=False)
+        return False
+
+    def hit_mask(self, keys: np.ndarray) -> np.ndarray:
+        """Per-key hit mask (inserting misses as it goes)."""
+        keys = np.asarray(keys)
+        out = np.zeros(keys.size, dtype=bool)
+        lru = self._lru
+        cap = self.capacity_entries
+        hits = 0
+        for i, k in enumerate(keys.tolist()):
+            if k in lru:
+                lru.move_to_end(k)
+                out[i] = True
+                hits += 1
+            else:
+                lru[k] = None
+                if len(lru) > cap:
+                    lru.popitem(last=False)
+        self.hits += hits
+        self.misses += keys.size - hits
+        return out
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._lru.clear()

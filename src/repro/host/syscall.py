@@ -1,0 +1,50 @@
+"""Host system-software cost accounting (syscalls, faults, ioctls).
+
+The paper's core software observation: every mmap page fault costs
+"several tens of microseconds" of kernel work (fault handling, page-cache
+insertion, user<->kernel context switches), which dwarfs its usefulness
+when the access stream has little locality.  This module centralizes those
+costs and counts them.
+"""
+
+from __future__ import annotations
+
+from repro.config import HostSWParams
+
+__all__ = ["HostSoftware"]
+
+
+class HostSoftware:
+    """Per-event host software costs, with counters."""
+
+    def __init__(self, params: HostSWParams = HostSWParams()):
+        self.params = params
+        self.faults = 0
+        self.minor_lookups = 0
+        self.syscalls = 0
+        self.ioctls = 0
+
+    def fault_cost(self, n: int = 1) -> float:
+        """Major page fault: kernel entry + page-cache maintenance."""
+        self.faults += n
+        return n * self.params.mmap_fault_s
+
+    def minor_lookup_cost(self, n: int = 1) -> float:
+        """Page already resident: minor fault / page-cache lookup."""
+        self.minor_lookups += n
+        return n * self.params.pagecache_hit_s
+
+    def syscall_cost(self, n: int = 1) -> float:
+        """pread(O_DIRECT) submission/completion."""
+        self.syscalls += n
+        return n * self.params.direct_syscall_s
+
+    def ioctl_cost(self, n: int = 1) -> float:
+        """SmartSAGE driver ioctl() round trip."""
+        self.ioctls += n
+        return n * self.params.ioctl_s
+
+    def lock_cost(self, n: int = 1) -> float:
+        """Serialized page-cache lock section (contended under
+        multi-worker mmap, Section VI-B)."""
+        return n * self.params.pagecache_lock_s

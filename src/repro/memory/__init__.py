@@ -1,0 +1,16 @@
+"""Memory substrate: LLC simulator, DRAM and PMEM timing models."""
+
+from repro.memory.dram import DRAMModel, StreamResult
+from repro.memory.hierarchy import CharacterizationResult, MemoryHierarchy
+from repro.memory.llc import CacheSim, CacheStats
+from repro.memory.pmem import PMEMModel
+
+__all__ = [
+    "CacheSim",
+    "CacheStats",
+    "DRAMModel",
+    "StreamResult",
+    "PMEMModel",
+    "MemoryHierarchy",
+    "CharacterizationResult",
+]

@@ -1,0 +1,61 @@
+"""Unified LLC + DRAM view used by the Fig 5 characterization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DRAMParams, LLCParams
+from repro.memory.dram import DRAMModel
+from repro.memory.llc import CacheSim
+
+__all__ = ["CharacterizationResult", "MemoryHierarchy"]
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """The two Fig 5 quantities plus supporting detail."""
+
+    llc_miss_rate: float
+    dram_bw_utilization: float
+    accesses: int
+    elapsed_s: float
+    achieved_bandwidth: float
+
+
+class MemoryHierarchy:
+    """An LLC simulator in front of the DRAM timing model."""
+
+    def __init__(
+        self,
+        llc: LLCParams = LLCParams(),
+        dram: DRAMParams = DRAMParams(),
+    ):
+        self.llc = CacheSim(llc)
+        self.dram = DRAMModel(dram)
+
+    def characterize(
+        self, trace: np.ndarray, workers: int = 1
+    ) -> CharacterizationResult:
+        """Run an address trace and report miss rate + bandwidth use.
+
+        ``trace`` is the byte-address stream of one worker; ``workers``
+        identical workers are assumed to run concurrently (the paper's
+        multi-worker producer pool), scaling bandwidth demand but not the
+        per-worker latency.
+        """
+        stats = self.llc.run_trace(trace)
+        result = self.dram.stream(
+            n_accesses=stats.accesses,
+            miss_rate=stats.miss_rate,
+            llc_hit_latency_s=self.llc.params.hit_latency_s,
+            workers=workers,
+        )
+        return CharacterizationResult(
+            llc_miss_rate=stats.miss_rate,
+            dram_bw_utilization=result.utilization,
+            accesses=stats.accesses,
+            elapsed_s=result.elapsed_s,
+            achieved_bandwidth=result.achieved_bandwidth,
+        )

@@ -1,0 +1,45 @@
+"""Intel Optane DC PMEM model (the paper's NVDIMM comparison point).
+
+PMEM sits on the memory bus: byte-addressable loads with ~3.5x the DRAM
+latency and roughly a third of the bandwidth, but none of the block-I/O
+software overheads -- which is why the paper measures only a 1.2x slowdown
+vs. DRAM at far lower storage density and GB/$ than an SSD.
+"""
+
+from __future__ import annotations
+
+from repro.config import PMEMParams
+from repro.errors import ConfigError
+
+__all__ = ["PMEMModel"]
+
+
+class PMEMModel:
+    """Latency/bandwidth arithmetic for Optane PMEM in app-direct mode."""
+
+    def __init__(self, params: PMEMParams = PMEMParams()):
+        if params.mlp < 1:
+            raise ConfigError("memory-level parallelism must be >= 1")
+        self.params = params
+        self.total_bytes = 0
+
+    def random_access_time(self, n_accesses: int) -> float:
+        """Dependent fine-grained loads, overlapped up to ``mlp`` ways."""
+        if n_accesses < 0:
+            raise ConfigError("negative access count")
+        return n_accesses * self.params.load_latency_s / self.params.mlp
+
+    def gather_time(self, n_rows: int, row_bytes: int) -> float:
+        """Gather ``n_rows`` rows: one random access plus a streaming read
+        of each row (rows span multiple 256 B Optane granules)."""
+        granules = max(1, -(-row_bytes // self.params.line_bytes))
+        touch = self.random_access_time(n_rows)
+        stream = n_rows * granules * self.params.line_bytes / self.params.peak_bandwidth
+        self.total_bytes += n_rows * granules * self.params.line_bytes
+        return touch + stream
+
+    def bulk_copy_time(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ConfigError("negative copy size")
+        self.total_bytes += nbytes
+        return nbytes / self.params.peak_bandwidth

@@ -1,0 +1,20 @@
+"""Producer-consumer training pipeline (Fig 4) with GPU idle accounting."""
+
+from repro.pipeline.consumer import GPUConsumer
+from repro.pipeline.gpu import GPUModel
+from repro.pipeline.producer import ProducerPool
+from repro.pipeline.runner import PipelineResult, run_pipeline
+from repro.pipeline.timeline import PhaseAccumulator, Span
+from repro.pipeline.workqueue import WorkItem, WorkQueue
+
+__all__ = [
+    "GPUModel",
+    "WorkQueue",
+    "WorkItem",
+    "ProducerPool",
+    "GPUConsumer",
+    "PhaseAccumulator",
+    "Span",
+    "run_pipeline",
+    "PipelineResult",
+]

@@ -1,0 +1,81 @@
+"""The GPU consumer process (Fig 4's training side)."""
+
+from __future__ import annotations
+
+from repro.pipeline.gpu import GPUModel
+from repro.pipeline.timeline import PhaseAccumulator
+from repro.pipeline.workqueue import WorkQueue
+from repro.sim.stats import UtilizationTracker
+
+__all__ = ["GPUConsumer"]
+
+
+class GPUConsumer:
+    """Pops prepared batches and runs transfer + training for each.
+
+    Optionally checkpoints the model to the SSD every
+    ``checkpoint_every`` batches (``checkpoint_bytes`` of parameters +
+    optimizer state, written write-back), exercising the storage write
+    path during training.
+    """
+
+    def __init__(
+        self,
+        gpu: GPUModel,
+        queue: WorkQueue,
+        n_batches: int,
+        phases: PhaseAccumulator,
+        ssd=None,
+        checkpoint_every: int = 0,
+        checkpoint_bytes: int = 0,
+    ):
+        self.gpu = gpu
+        self.queue = queue
+        self.n_batches = n_batches
+        self.phases = phases
+        self.utilization = UtilizationTracker()
+        self.batches_done = 0
+        self.finished_at = 0.0
+        self.ssd = ssd
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_bytes = checkpoint_bytes
+        self.checkpoints_written = 0
+
+    def run(self, sim):
+        """Generator: the single GPU worker process."""
+        for _ in range(self.n_batches):
+            # Waiting on the queue is GPU idle time (Fig 7).
+            item = yield from self.queue.get()
+            self.utilization.set_busy(sim.now)
+            t0 = sim.now
+            yield sim.timeout(self.gpu.transfer_time(item.workload))
+            t1 = sim.now
+            self.phases.record(
+                "cpu_to_gpu", t1 - t0, worker="gpu", start_s=t0
+            )
+            yield sim.timeout(self.gpu.train_time(item.workload))
+            t2 = sim.now
+            self.phases.record(
+                "gnn_training", t2 - t1, worker="gpu", start_s=t1
+            )
+            self.utilization.set_idle(sim.now)
+            self.batches_done += 1
+            if (
+                self.ssd is not None
+                and self.checkpoint_every > 0
+                and self.batches_done % self.checkpoint_every == 0
+            ):
+                t3 = sim.now
+                yield sim.timeout(
+                    self.ssd.host_write_latency(
+                        max(4096, self.checkpoint_bytes)
+                    )
+                )
+                self.phases.record(
+                    "else", sim.now - t3, worker="gpu", start_s=t3
+                )
+                self.checkpoints_written += 1
+        self.finished_at = sim.now
+
+    def idle_fraction(self, now: float) -> float:
+        return self.utilization.idle_fraction(now)

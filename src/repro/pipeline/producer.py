@@ -1,0 +1,75 @@
+"""CPU-side producer workers (Fig 4's data-preparation processes)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.pipeline.timeline import PhaseAccumulator
+from repro.pipeline.workqueue import WorkItem, WorkQueue
+
+__all__ = ["ProducerPool"]
+
+
+class ProducerPool:
+    """``n_workers`` concurrent producers sharing a batch counter.
+
+    Each worker loops: claim the next batch index, run neighbor sampling
+    through the system's sampling engine, run feature lookup through the
+    feature engine, then push the prepared batch into the GPU work queue
+    (blocking when the queue is full).
+    """
+
+    def __init__(
+        self,
+        system,
+        runtime,
+        workloads: List,
+        queue: WorkQueue,
+        n_batches: int,
+        phases: PhaseAccumulator,
+    ):
+        self.system = system
+        self.runtime = runtime
+        self.workloads = workloads
+        self.queue = queue
+        self.n_batches = n_batches
+        self.phases = phases
+        self._next = 0
+
+    def _claim(self) -> int:
+        idx = self._next
+        self._next += 1
+        return idx
+
+    def worker(self, worker_id: int):
+        """Generator: one producer process."""
+        sim = self.runtime.sim
+        name = f"producer-{worker_id}"
+        while True:
+            idx = self._claim()
+            if idx >= self.n_batches:
+                return
+            workload = self.workloads[idx % len(self.workloads)]
+            t0 = sim.now
+            yield from self.system.sampling_engine.batch_process(
+                self.runtime, workload
+            )
+            t1 = sim.now
+            self.phases.record(
+                "neighbor_sampling", t1 - t0, worker=name, start_s=t0
+            )
+            yield from self.system.feature_engine.batch_process(
+                self.runtime, workload.input_nodes
+            )
+            t2 = sim.now
+            self.phases.record(
+                "feature_lookup", t2 - t1, worker=name, start_s=t1
+            )
+            yield from self.queue.put(WorkItem(idx, workload))
+
+    def spawn_all(self, n_workers: int):
+        sim = self.runtime.sim
+        return [
+            sim.process(self.worker(i), name=f"producer-{i}")
+            for i in range(n_workers)
+        ]

@@ -1,0 +1,66 @@
+"""Per-phase time accounting for the training pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.stats import PhaseBreakdown, RunningStat
+
+__all__ = ["PhaseAccumulator", "Span"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed interval on the pipeline timeline."""
+
+    phase: str
+    worker: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class PhaseAccumulator:
+    """Collects per-batch phase durations (the Fig 6/18 stacked bars)."""
+
+    PHASES = PhaseBreakdown.STANDARD_PHASES
+
+    def __init__(self, keep_spans: bool = False):
+        self.stats: Dict[str, RunningStat] = {}
+        self.spans: Optional[List[Span]] = [] if keep_spans else None
+
+    def record(
+        self,
+        phase: str,
+        duration_s: float,
+        worker: str = "",
+        start_s: float = 0.0,
+    ) -> None:
+        self.stats.setdefault(phase, RunningStat()).add(duration_s)
+        if self.spans is not None:
+            self.spans.append(
+                Span(phase, worker, start_s, start_s + duration_s)
+            )
+
+    def mean(self, phase: str) -> float:
+        stat = self.stats.get(phase)
+        return stat.mean if stat else 0.0
+
+    def total(self, phase: str) -> float:
+        stat = self.stats.get(phase)
+        return stat.total if stat else 0.0
+
+    def mean_breakdown(self) -> PhaseBreakdown:
+        """Average per-batch time per phase, as a PhaseBreakdown."""
+        out = PhaseBreakdown()
+        for phase, stat in self.stats.items():
+            out.add(phase, stat.mean)
+        return out
+
+    def per_batch_latency(self) -> float:
+        """Mean end-to-end latency of one batch through all phases."""
+        return sum(stat.mean for stat in self.stats.values())

@@ -1,0 +1,58 @@
+"""The GPU work queue between CPU producers and the GPU consumer (Fig 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Store
+
+__all__ = ["WorkItem", "WorkQueue"]
+
+
+@dataclass
+class WorkItem:
+    """One prepared mini-batch waiting for the GPU."""
+
+    batch_index: int
+    workload: object            # SamplingWorkload
+    produced_at: float = 0.0
+
+
+class WorkQueue:
+    """Bounded queue with wait-time accounting on both sides."""
+
+    def __init__(self, sim: Simulator, depth: int):
+        self.sim = sim
+        self.store = Store(sim, capacity=depth, name="gpu-queue")
+        self.producer_waits: List[float] = []
+        self.consumer_waits: List[float] = []
+
+    def put(self, item: WorkItem):
+        """Generator: blocks while the queue is full (producer side)."""
+        start = self.sim.now
+        item.produced_at = start
+        yield self.store.put(item)
+        self.producer_waits.append(self.sim.now - start)
+
+    def get(self):
+        """Generator: blocks while the queue is empty (consumer side).
+
+        The block time here *is* the GPU idle time of Fig 7.
+        """
+        start = self.sim.now
+        item = yield self.store.get()
+        self.consumer_waits.append(self.sim.now - start)
+        return item
+
+    @property
+    def total_consumer_wait_s(self) -> float:
+        return sum(self.consumer_waits)
+
+    @property
+    def total_producer_wait_s(self) -> float:
+        return sum(self.producer_waits)
+
+    def __len__(self) -> int:
+        return len(self.store)

@@ -1,0 +1,292 @@
+"""A small generator-based discrete-event simulation engine.
+
+The engine follows the familiar process-interaction style (as popularized by
+SimPy): simulation logic is written as Python generators that ``yield``
+*events* -- timeouts, resource acquisitions, queue operations -- and the
+engine resumes each process when the event it waits on fires.
+
+Only the features the SmartSAGE models need are implemented, which keeps the
+engine small enough to reason about and test exhaustively:
+
+* :class:`Simulator` -- the event loop and clock
+* :class:`SimEvent` -- a one-shot event processes can wait on
+* :class:`Timeout` -- an event that fires after a delay
+* :class:`Process` -- a running generator (itself awaitable)
+* :func:`all_of` -- barrier over several events
+
+Resources and stores live in :mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator", "SimEvent", "Timeout", "Process", "all_of"]
+
+
+class SimEvent:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    schedules it to fire at the current simulation time, waking every
+    process that yielded it.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_failed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: List[Callable[["SimEvent"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._failed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Mark the event as fired with ``value`` and wake waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "SimEvent":
+        """Mark the event as failed; waiters will see ``exc`` raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._failed = True
+        self._value = exc
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["SimEvent"], None]) -> None:
+        if self._triggered and self._callbacks is None:
+            # Already dispatched: run immediately (same sim time).
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Timeout(SimEvent):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True  # scheduled immediately, fires later
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Process(SimEvent):
+    """A running generator; also an event that fires when it returns.
+
+    The generator may yield:
+
+    * a :class:`SimEvent` (including :class:`Timeout` or another process),
+    * ``None`` to simply yield control at the same simulation time.
+
+    The value sent back into the generator is the fired event's value.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off on the next event-loop iteration at current time.
+        kick = SimEvent(sim)
+        kick.add_callback(self._resume)
+        kick.succeed()
+
+    def _resume(self, event: SimEvent) -> None:
+        if event._failed:
+            self._throw(event.value)
+            return
+        try:
+            target = self._gen.send(event.value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except Exception as exc:
+            if not self._triggered:
+                self.fail(exc)
+                return
+            raise
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except Exception as err:
+            if not self._triggered:
+                self.fail(err)
+                return
+            raise
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if target is None:
+            immediate = SimEvent(self.sim)
+            immediate.add_callback(self._resume)
+            immediate.succeed()
+            return
+        if not isinstance(target, SimEvent):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+        target.add_callback(self._resume)
+
+    def interrupt(self, reason: str = "interrupted") -> None:
+        """Raise :class:`SimulationError` inside the process."""
+        immediate = SimEvent(self.sim)
+        immediate.add_callback(
+            lambda _ev: self._throw(SimulationError(reason))
+        )
+        immediate.succeed()
+
+
+class _AllOf(SimEvent):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("_remaining", "_values")
+
+    def __init__(self, sim: "Simulator", events: List[SimEvent]):
+        super().__init__(sim)
+        self._remaining = len(events)
+        self._values: List[Any] = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for i, ev in enumerate(events):
+            ev.add_callback(self._make_callback(i))
+
+    def _make_callback(self, index: int) -> Callable[[SimEvent], None]:
+        def on_fire(event: SimEvent) -> None:
+            if self._triggered:
+                return
+            if event._failed:
+                self.fail(event.value)
+                return
+            self._values[index] = event.value
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.succeed(list(self._values))
+
+        return on_fire
+
+
+def all_of(sim: "Simulator", events: Iterable[SimEvent]) -> SimEvent:
+    """Return an event that fires once all ``events`` have fired."""
+    return _AllOf(sim, list(events))
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of pending events."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: List = []   # (time, seq, event)
+        self._seq = 0
+        self._event_count = 0
+
+    # -- event construction helpers ------------------------------------
+
+    def event(self) -> SimEvent:
+        """A fresh pending event (trigger it manually with ``succeed``)."""
+        return SimEvent(self)
+
+    def timeout(self, delay: float) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a running process."""
+        return Process(self, gen, name=name)
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> SimEvent:
+        """Run a plain callback after ``delay`` seconds."""
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    # -- scheduling internals -------------------------------------------
+
+    def _schedule_at(self, when: float, event: SimEvent) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, event))
+
+    def _schedule_event(self, event: SimEvent) -> None:
+        self._schedule_at(self.now, event)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self.now - 1e-18:
+            raise SimulationError("time went backwards")
+        self.now = when
+        self._event_count += 1
+        event._dispatch()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final simulation time.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return self.now
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self.now = max(self.now, until) if self._queue else self.now
+        return self.now
+
+    def run_until_complete(self, proc: Process) -> Any:
+        """Run until ``proc`` finishes; return its value or raise its error."""
+        while not proc.triggered or proc._callbacks:
+            if not self.step():
+                break
+        if not proc.triggered:
+            raise SimulationError(
+                f"deadlock: process {proc.name!r} never completed"
+            )
+        if proc._failed:
+            raise proc.value
+        return proc.value
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events dispatched so far (for efficiency tests)."""
+        return self._event_count

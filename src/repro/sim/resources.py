@@ -1,0 +1,213 @@
+"""Contended resources for the discrete-event engine.
+
+Three primitives cover every contention point in the SmartSAGE models:
+
+* :class:`Resource` -- ``capacity`` interchangeable slots with a FIFO wait
+  queue.  Models SSD flash channels, embedded cores, the page-cache lock.
+* :class:`Store` -- a bounded FIFO buffer of items.  Models the GPU work
+  queue in the producer/consumer training pipeline.
+* :class:`BandwidthLink` -- a shared link where each transfer occupies the
+  link for ``bytes / bandwidth`` seconds.  Models PCIe links and DMA.
+
+Each primitive tracks utilization so experiments can report busy fractions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimEvent, Simulator
+
+__all__ = ["Resource", "Store", "BandwidthLink"]
+
+
+class Resource:
+    """``capacity`` slots handed out FIFO.
+
+    Usage inside a process::
+
+        yield resource.acquire()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"{name}: capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[SimEvent] = deque()
+        # utilization accounting
+        self._busy_area = 0.0      # integral of in_use over time
+        self._last_change = sim.now
+        self._acquisitions = 0
+        self._wait_time_total = 0.0
+        self._wait_started: dict = {}
+
+    # -- accounting -----------------------------------------------------
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_area += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Mean busy fraction over ``elapsed`` (defaults to sim.now)."""
+        self._account()
+        horizon = elapsed if elapsed is not None else self.sim.now
+        if horizon <= 0:
+            return 0.0
+        return self._busy_area / (horizon * self.capacity)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def mean_wait_s(self) -> float:
+        if self._acquisitions == 0:
+            return 0.0
+        return self._wait_time_total / self._acquisitions
+
+    # -- acquire/release ---------------------------------------------------
+
+    def acquire(self) -> SimEvent:
+        """Event that fires once a slot is granted to the caller."""
+        ev = self.sim.event()
+        self._wait_started[id(ev)] = self.sim.now
+        if self._in_use < self.capacity:
+            self._grant(ev)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def _grant(self, ev: SimEvent) -> None:
+        self._account()
+        self._in_use += 1
+        self._acquisitions += 1
+        started = self._wait_started.pop(id(ev), self.sim.now)
+        self._wait_time_total += self.sim.now - started
+        ev.succeed(self)
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release without acquire")
+        self._account()
+        self._in_use -= 1
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+
+class Store:
+    """A bounded FIFO buffer with blocking put/get."""
+
+    def __init__(
+        self, sim: Simulator, capacity: int = 0, name: str = "store"
+    ):
+        # capacity <= 0 means unbounded
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+        self.total_put = 0
+        self.total_got = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity > 0 and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> SimEvent:
+        """Event that fires once ``item`` has entered the buffer."""
+        ev = self.sim.event()
+        if self._getters:
+            # Hand the item straight to a waiting consumer.
+            getter = self._getters.popleft()
+            self.total_put += 1
+            self.total_got += 1
+            getter.succeed(item)
+            ev.succeed(None)
+        elif not self.is_full:
+            self._items.append(item)
+            self.total_put += 1
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> SimEvent:
+        """Event whose value is the next item, once available."""
+        ev = self.sim.event()
+        if self._items:
+            item = self._items.popleft()
+            self.total_got += 1
+            ev.succeed(item)
+            self._drain_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _drain_putters(self) -> None:
+        while self._putters and not self.is_full:
+            put_ev, item = self._putters.popleft()
+            self._items.append(item)
+            self.total_put += 1
+            put_ev.succeed(None)
+
+
+class BandwidthLink:
+    """A serialized link: each transfer holds the link for bytes/bandwidth.
+
+    ``transfer`` returns a process-style generator that the caller should
+    ``yield from`` (or wrap via ``sim.process``).  A per-transaction latency
+    models protocol/setup overhead.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        latency_s: float = 0.0,
+        name: str = "link",
+        lanes: int = 1,
+    ):
+        if bandwidth <= 0:
+            raise SimulationError(f"{name}: bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.latency_s = latency_s
+        self.name = name
+        self._slots = Resource(sim, lanes, name=f"{name}.slots")
+        self.bytes_moved = 0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Service time for a transfer, excluding queueing."""
+        return self.latency_s + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int):
+        """Generator performing one transfer over the shared link."""
+        if nbytes < 0:
+            raise SimulationError(f"{self.name}: negative transfer size")
+        yield self._slots.acquire()
+        try:
+            yield self.sim.timeout(self.transfer_time(nbytes))
+            self.bytes_moved += nbytes
+        finally:
+            self._slots.release()
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        return self._slots.utilization(elapsed)

@@ -1,0 +1,183 @@
+"""Statistics helpers used by the simulator and the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "RunningStat",
+    "Histogram",
+    "UtilizationTracker",
+    "PhaseBreakdown",
+    "geometric_mean",
+]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the conventional way to average speedups."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+class RunningStat:
+    """Single-pass mean/variance/min/max (Welford's algorithm)."""
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStat(n={self.count}, mean={self.mean:.4g}, "
+            f"std={self.std:.4g}, min={self.min}, max={self.max})"
+        )
+
+
+class Histogram:
+    """Logarithmically binned histogram (for latency distributions)."""
+
+    def __init__(self, base: float = 2.0, min_value: float = 1e-9):
+        if base <= 1.0:
+            raise ValueError("histogram base must be > 1")
+        self.base = base
+        self.min_value = min_value
+        self.bins: Dict[int, int] = {}
+        self.stat = RunningStat()
+
+    def _bin_index(self, value: float) -> int:
+        v = max(value, self.min_value)
+        return int(math.floor(math.log(v / self.min_value, self.base)))
+
+    def add(self, value: float) -> None:
+        self.stat.add(value)
+        idx = self._bin_index(value)
+        self.bins[idx] = self.bins.get(idx, 0) + 1
+
+    def bin_edges(self, index: int) -> tuple:
+        lo = self.min_value * (self.base ** index)
+        return (lo, lo * self.base)
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from bin upper edges (q in [0, 100])."""
+        if not self.bins:
+            return 0.0
+        target = self.stat.count * q / 100.0
+        seen = 0
+        for idx in sorted(self.bins):
+            seen += self.bins[idx]
+            if seen >= target:
+                return self.bin_edges(idx)[1]
+        return self.bin_edges(max(self.bins))[1]
+
+
+class UtilizationTracker:
+    """Integrates a busy/idle signal over time (e.g., GPU busy fraction)."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._busy_since: Optional[float] = None
+        self._busy_total = 0.0
+        self._start = start_time
+        self._last_seen = start_time
+
+    def set_busy(self, now: float) -> None:
+        self._last_seen = now
+        if self._busy_since is None:
+            self._busy_since = now
+
+    def set_idle(self, now: float) -> None:
+        self._last_seen = now
+        if self._busy_since is not None:
+            self._busy_total += now - self._busy_since
+            self._busy_since = None
+
+    def busy_time(self, now: Optional[float] = None) -> float:
+        total = self._busy_total
+        if self._busy_since is not None and now is not None:
+            total += max(0.0, now - self._busy_since)
+        return total
+
+    def busy_fraction(self, now: float) -> float:
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(now) / elapsed)
+
+    def idle_fraction(self, now: float) -> float:
+        return 1.0 - self.busy_fraction(now)
+
+
+class PhaseBreakdown:
+    """Accumulates time per named phase (the paper's stacked-bar charts).
+
+    Phases follow Fig 6 / Fig 18: ``neighbor_sampling``, ``feature_lookup``,
+    ``cpu_to_gpu``, ``gnn_training``, ``else``.
+    """
+
+    STANDARD_PHASES = (
+        "neighbor_sampling",
+        "feature_lookup",
+        "cpu_to_gpu",
+        "gnn_training",
+        "else",
+    )
+
+    def __init__(self):
+        self.seconds: Dict[str, float] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative phase time for {phase}: {seconds}")
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+
+    def merge(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
+        for phase, secs in other.seconds.items():
+            self.add(phase, secs)
+        return self
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total()
+        if total <= 0:
+            return {k: 0.0 for k in self.seconds}
+        return {k: v / total for k, v in self.seconds.items()}
+
+    def as_row(self, phases: Sequence[str] = STANDARD_PHASES) -> List[float]:
+        return [self.seconds.get(p, 0.0) for p in phases]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.4g}s" for k, v in self.seconds.items())
+        return f"PhaseBreakdown({parts})"

@@ -1,0 +1,70 @@
+"""Event tracing for debugging and for breakdown accounting.
+
+A :class:`Tracer` collects ``(time, category, label, payload)`` records.
+Tracing is off by default; models call :meth:`Tracer.emit` unconditionally
+and the disabled tracer makes that a near-no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    category: str
+    label: str
+    payload: Optional[dict] = None
+
+    def __str__(self) -> str:
+        extra = f" {self.payload}" if self.payload else ""
+        return f"[{self.time * 1e6:12.3f}us] {self.category}:{self.label}{extra}"
+
+
+@dataclass
+class Tracer:
+    """Collects trace records; filter by category at emit time."""
+
+    enabled: bool = True
+    categories: Optional[set] = None   # None = record everything
+    records: List[TraceRecord] = field(default_factory=list)
+    max_records: int = 1_000_000
+
+    def emit(
+        self,
+        time: float,
+        category: str,
+        label: str,
+        payload: Optional[dict] = None,
+    ) -> None:
+        if not self.enabled or len(self.records) >= self.max_records:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, label, payload))
+
+    def filter(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.category] = out.get(r.category, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def dump(self, limit: int = 50) -> str:
+        lines = [str(r) for r in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... ({len(self.records) - limit} more)")
+        return "\n".join(lines)
+
+
+#: Shared disabled tracer for hot paths that were not given one.
+NULL_TRACER = Tracer(enabled=False)

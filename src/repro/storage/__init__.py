@@ -1,0 +1,25 @@
+"""Storage substrate: NAND, FTL, controller, SSD device, NVMe, PCIe."""
+
+from repro.storage.controller import FlashController, ReadPlan
+from repro.storage.embedded import EmbeddedCores
+from repro.storage.ftl import FlashTranslationLayer
+from repro.storage.nand import FlashArray
+from repro.storage.nvme import NVMeCommand, NVMeInterface, NVMeOpcode
+from repro.storage.pagebuffer import PageBuffer
+from repro.storage.pcie import PCIeFabric
+from repro.storage.ssd import SSDevice, SSDState
+
+__all__ = [
+    "FlashArray",
+    "FlashTranslationLayer",
+    "PageBuffer",
+    "FlashController",
+    "ReadPlan",
+    "NVMeCommand",
+    "NVMeInterface",
+    "NVMeOpcode",
+    "PCIeFabric",
+    "EmbeddedCores",
+    "SSDevice",
+    "SSDState",
+]

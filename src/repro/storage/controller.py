@@ -1,0 +1,88 @@
+"""Flash controller: turns host LBA extents into flash page requests.
+
+The controller's planning is shared by every design point: the mmap and
+direct-I/O paths read LBA extents through it, and the ISP subgraph
+generator uses it to enqueue flash page reads for each target node's
+neighbor-list extent (the "pending flash page request queue" of Fig 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SSDParams
+from repro.errors import StorageError
+from repro.storage.ftl import FlashTranslationLayer
+from repro.storage.nand import FlashArray
+
+__all__ = ["ReadPlan", "FlashController"]
+
+
+@dataclass(frozen=True)
+class ReadPlan:
+    """Flash work for one contiguous extent read."""
+
+    n_pages: int
+    flash_time_qd1_s: float
+    bytes_from_flash: int
+
+
+class FlashController:
+    """LBA-extent to flash-page planning plus FTL invocation."""
+
+    def __init__(
+        self,
+        nand: FlashArray,
+        ssd_params: SSDParams = SSDParams(),
+        ftl_seed: int = 0,
+    ):
+        self.nand = nand
+        self.params = ssd_params
+        total_pages = max(
+            1, ssd_params.capacity_bytes // nand.page_bytes
+        )
+        self.ftl = FlashTranslationLayer(total_pages, seed=ftl_seed)
+        self.extents_read = 0
+
+    @property
+    def lbas_per_page(self) -> int:
+        return max(1, self.nand.page_bytes // self.params.lba_bytes)
+
+    def lpns_for_extent(self, lba: int, n_blocks: int) -> np.ndarray:
+        """Logical flash pages covering an LBA extent."""
+        if lba < 0 or n_blocks < 0:
+            raise StorageError("negative LBA extent")
+        if n_blocks == 0:
+            return np.empty(0, dtype=np.int64)
+        first = lba // self.lbas_per_page
+        last = (lba + n_blocks - 1) // self.lbas_per_page
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def plan_extent(self, nbytes: int) -> ReadPlan:
+        """Plan a contiguous read of ``nbytes`` (QD1 service time)."""
+        if nbytes < 0:
+            raise StorageError("negative extent size")
+        n_pages = self.nand.pages_for(nbytes)
+        self.extents_read += 1
+        return ReadPlan(
+            n_pages=n_pages,
+            flash_time_qd1_s=self.nand.extent_read_time_qd1(nbytes),
+            bytes_from_flash=n_pages * self.nand.page_bytes,
+        )
+
+    def physical_pages(self, lpns: np.ndarray) -> np.ndarray:
+        """Translate logical pages via the FTL (adds core cost upstream)."""
+        return self.ftl.translate(lpns)
+
+    def channel_spread(self, lpns: np.ndarray) -> float:
+        """Fraction of channels touched by a set of logical pages.
+
+        Wear-leveled placement should spread pages near-uniformly; the ISP
+        batch read model relies on this to use all channels.
+        """
+        if lpns.size == 0:
+            return 0.0
+        channels = self.nand.channel_of(self.physical_pages(lpns))
+        return np.unique(channels).size / self.nand.params.channel_count

@@ -1,0 +1,115 @@
+"""NAND flash array geometry and timing.
+
+Models the flash side of a Cosmos+-class SSD: pages are read from the
+cells into a per-die register (``tR``), then clocked out over the channel
+bus.  Parallelism comes from independent channels and ways; a single
+QD1 requester cannot overlap its own page reads, but many requesters (or
+the ISP subgraph generator, which issues batches of outstanding reads)
+can use the full array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import NANDParams
+from repro.errors import StorageError
+
+__all__ = ["FlashArray"]
+
+
+class FlashArray:
+    """Timing arithmetic for the flash array."""
+
+    def __init__(self, params: NANDParams = NANDParams()):
+        if params.page_bytes <= 0 or params.channel_count <= 0:
+            raise StorageError("invalid NAND geometry")
+        self.params = params
+        self.pages_read = 0
+
+    @property
+    def page_bytes(self) -> int:
+        return self.params.page_bytes
+
+    @property
+    def concurrent_ops(self) -> int:
+        return self.params.concurrent_ops
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Clock ``nbytes`` out of the page register over the channel."""
+        return nbytes / self.params.channel_bandwidth
+
+    def page_service_time(self, useful_bytes: int = None) -> float:
+        """One page read at QD1: tR plus clocking out the page.
+
+        ``useful_bytes`` below a full page still clocks at least the
+        requested region (the controller can do partial-page transfers).
+        """
+        nbytes = self.params.page_bytes if useful_bytes is None else min(
+            max(useful_bytes, 512), self.params.page_bytes
+        )
+        return self.params.read_latency_s + self.transfer_time(nbytes)
+
+    def pages_for(self, nbytes: int) -> int:
+        """Pages covering an arbitrary byte extent (worst-case aligned)."""
+        if nbytes < 0:
+            raise StorageError("negative extent")
+        if nbytes == 0:
+            return 0
+        return -(-nbytes // self.params.page_bytes)
+
+    def extent_read_time_qd1(self, nbytes: int) -> float:
+        """A single requester reading a contiguous extent.
+
+        The first page pays full ``tR``; subsequent pages of the same
+        extent usually sit on successive channels (the FTL stripes
+        sequential data), so their cell reads overlap with the previous
+        page's bus transfer and the requester mostly pays bus time.
+        """
+        pages = self.pages_for(nbytes)
+        if pages == 0:
+            return 0.0
+        self.pages_read += pages
+        first = self.page_service_time(min(nbytes, self.params.page_bytes))
+        rest_bytes = nbytes - min(nbytes, self.params.page_bytes)
+        return first + self.transfer_time(max(0, rest_bytes))
+
+    def extent_program_time_qd1(self, nbytes: int) -> float:
+        """A single requester programming a contiguous extent.
+
+        Data is clocked into the page registers and programmed; with
+        channel striping, programs of a multi-page extent overlap and
+        the requester pays one full tPROG plus the bus transfers.
+        """
+        pages = self.pages_for(nbytes)
+        if pages == 0:
+            return 0.0
+        return self.params.program_latency_s + self.transfer_time(nbytes)
+
+    def batch_read_time(self, n_pages: int, parallelism: int = None) -> float:
+        """``n_pages`` independent page reads with ``parallelism`` lanes.
+
+        Used by the ISP path which keeps many flash reads outstanding.
+        """
+        if n_pages < 0:
+            raise StorageError("negative page count")
+        if n_pages == 0:
+            return 0.0
+        lanes = self.concurrent_ops if parallelism is None else max(
+            1, min(parallelism, self.concurrent_ops)
+        )
+        self.pages_read += n_pages
+        waves = -(-n_pages // lanes)
+        return waves * self.page_service_time()
+
+    def sustained_read_bandwidth(self) -> float:
+        """Aggregate internal bandwidth with all lanes busy."""
+        return (
+            self.params.page_bytes
+            / self.page_service_time()
+            * self.concurrent_ops
+        )
+
+    def channel_of(self, ppns: np.ndarray) -> np.ndarray:
+        """Channel assignment by physical page number (striped)."""
+        return np.asarray(ppns) % self.params.channel_count

@@ -1,0 +1,76 @@
+"""NVMe protocol model: commands, opcodes, and per-command costs.
+
+SmartSAGE keeps full NVMe compatibility (Section IV-C): the subgraph
+generation request is an ordinary write command with one unused command
+bit set, carrying a host-memory pointer to the ``NSconfig`` payload.  The
+model below captures command costs and the SmartSAGE opcode extension.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import NVMeParams
+from repro.errors import StorageError
+
+__all__ = ["NVMeOpcode", "NVMeCommand", "NVMeInterface"]
+
+_command_ids = itertools.count()
+
+
+class NVMeOpcode(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    #: A write command with the spare command bit set: SmartSAGE's
+    #: in-storage neighbor-sampling request (Section IV-C).
+    SAMPLE_SUBGRAPH = "sample_subgraph"
+
+
+@dataclass
+class NVMeCommand:
+    """One submission-queue entry."""
+
+    opcode: NVMeOpcode
+    lba: int = 0
+    block_count: int = 0
+    #: host-memory pointer metadata for SAMPLE_SUBGRAPH commands
+    nsconfig_bytes: int = 0
+    command_id: int = field(default_factory=lambda: next(_command_ids))
+
+    def __post_init__(self):
+        if self.lba < 0 or self.block_count < 0:
+            raise StorageError("negative LBA or block count")
+        if (
+            self.opcode is NVMeOpcode.SAMPLE_SUBGRAPH
+            and self.nsconfig_bytes <= 0
+        ):
+            raise StorageError(
+                "SAMPLE_SUBGRAPH command requires an NSconfig payload"
+            )
+
+    @property
+    def is_isp(self) -> bool:
+        return self.opcode is NVMeOpcode.SAMPLE_SUBGRAPH
+
+
+class NVMeInterface:
+    """Per-command protocol cost accounting."""
+
+    def __init__(self, params: NVMeParams = NVMeParams()):
+        self.params = params
+        self.commands_issued = 0
+        self.isp_commands = 0
+
+    def command_cost_s(self, command: Optional[NVMeCommand] = None) -> float:
+        """Doorbell + SQ fetch + completion + interrupt, per command."""
+        self.commands_issued += 1
+        if command is not None and command.is_isp:
+            self.isp_commands += 1
+        return self.params.command_overhead_s
+
+    def dma_setup_s(self) -> float:
+        """Descriptor setup for one DMA transfer (either direction)."""
+        return self.params.dma_setup_s

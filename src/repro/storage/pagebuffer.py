@@ -1,0 +1,75 @@
+"""The SSD's internal DRAM page buffer.
+
+Flash pages read from the array are staged in device DRAM before being
+DMA-ed to the host (Fig 8).  SmartSAGE's ISP samples *directly out of this
+buffer*, which is the core of its data-movement win.  The buffer behaves
+as an LRU cache of flash pages, so re-referenced pages (hub nodes!) can be
+served without touching the flash array again.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["PageBuffer"]
+
+
+class PageBuffer:
+    """LRU cache of flash pages held in device DRAM."""
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages < 1:
+            raise StorageError("page buffer needs at least one page")
+        self.capacity_pages = capacity_pages
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._lru
+
+    def access(self, page: int) -> bool:
+        """Touch one page; inserts on miss, evicting LRU. True on hit."""
+        if page in self._lru:
+            self._lru.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._lru[page] = None
+        if len(self._lru) > self.capacity_pages:
+            self._lru.popitem(last=False)
+        return False
+
+    def access_batch(self, pages: Iterable[int]) -> Tuple[int, int]:
+        """Touch many pages; returns (hits, misses) for the batch."""
+        hits = misses = 0
+        for page in pages:
+            if self.access(int(page)):
+                hits += 1
+            else:
+                misses += 1
+        return hits, misses
+
+    def hit_mask(self, pages: np.ndarray) -> np.ndarray:
+        """Per-page hit/miss mask for a batch (updates LRU state)."""
+        pages = np.asarray(pages)
+        out = np.zeros(pages.size, dtype=bool)
+        for i in range(pages.size):
+            out[i] = self.access(int(pages[i]))
+        return out
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._lru.clear()

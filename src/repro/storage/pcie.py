@@ -1,0 +1,71 @@
+"""PCIe link models: SSD<->host (gen2 x8) and host<->GPU (gen3 x16)."""
+
+from __future__ import annotations
+
+from repro.config import PCIeParams
+from repro.sim.engine import Simulator
+from repro.sim.resources import BandwidthLink
+
+__all__ = ["PCIeFabric", "transfer_time"]
+
+
+def transfer_time(nbytes: int, bandwidth: float, latency_s: float) -> float:
+    """Analytic single-transaction transfer time."""
+    return latency_s + nbytes / bandwidth
+
+
+class PCIeFabric:
+    """Factory for the simulation's shared PCIe links."""
+
+    def __init__(self, params: PCIeParams = PCIeParams()):
+        self.params = params
+
+    # -- analytic ------------------------------------------------------------
+
+    def host_transfer_time(self, nbytes: int) -> float:
+        """SSD -> host DMA over the gen2 x8 link."""
+        return transfer_time(
+            nbytes, self.params.host_link_bandwidth,
+            self.params.host_link_latency_s,
+        )
+
+    def gpu_transfer_time(self, nbytes: int) -> float:
+        """Host -> GPU copy over the gen3 x16 link."""
+        return transfer_time(
+            nbytes, self.params.gpu_link_bandwidth,
+            self.params.gpu_link_latency_s,
+        )
+
+    def p2p_transfer_time(self, nbytes: int) -> float:
+        """SSD -> FPGA peer-to-peer hop through the CSD's PCIe switch."""
+        return transfer_time(
+            nbytes, self.params.host_link_bandwidth,
+            self.params.host_link_latency_s + self.params.p2p_switch_latency_s,
+        )
+
+    # -- event-mode shared links --------------------------------------------
+
+    def host_link(self, sim: Simulator) -> BandwidthLink:
+        return BandwidthLink(
+            sim,
+            self.params.host_link_bandwidth,
+            self.params.host_link_latency_s,
+            name="pcie.host",
+        )
+
+    def gpu_link(self, sim: Simulator) -> BandwidthLink:
+        return BandwidthLink(
+            sim,
+            self.params.gpu_link_bandwidth,
+            self.params.gpu_link_latency_s,
+            name="pcie.gpu",
+        )
+
+    def p2p_link(self, sim: Simulator) -> BandwidthLink:
+        return BandwidthLink(
+            sim,
+            self.params.host_link_bandwidth,
+            self.params.host_link_latency_s
+            + self.params.p2p_switch_latency_s,
+            name="pcie.p2p",
+        )

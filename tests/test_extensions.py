@@ -1,0 +1,111 @@
+"""Tests for the extension experiments: energy, ablations, sensitivity,
+fidelity."""
+
+import pytest
+
+from repro.core.energy import EnergyReport, PowerBudget, energy_comparison
+from repro.errors import ConfigError
+from repro.experiments import (
+    ablations,
+    energy,
+    fidelity,
+    sensitivity_batch,
+)
+from repro.experiments.common import ExperimentConfig
+
+CFG = ExperimentConfig(edge_budget=2.5e5, batch_size=32, n_workloads=5)
+
+
+# -- power/energy model -------------------------------------------------
+
+
+def test_power_budget_components():
+    budget = PowerBudget()
+    busy = budget.system_power(1.0, uses_ssd=True)
+    idle = budget.system_power(0.0, uses_ssd=True)
+    assert busy > idle
+    assert busy - idle == pytest.approx(
+        budget.gpu_active_w - budget.gpu_idle_w
+    )
+
+
+def test_power_budget_pmem_and_isp_extra():
+    base = PowerBudget().system_power(0.5, uses_ssd=True)
+    with_isp = PowerBudget(isp_extra_w=4.0).system_power(
+        0.5, uses_ssd=True
+    )
+    assert with_isp == pytest.approx(base + 4.0)
+    no_ssd = PowerBudget().system_power(0.5, uses_ssd=False,
+                                        uses_pmem=True)
+    assert no_ssd > PowerBudget().system_power(0.5, uses_ssd=False)
+
+
+def test_power_budget_validation():
+    with pytest.raises(ConfigError):
+        PowerBudget().system_power(1.5, uses_ssd=True)
+
+
+def test_energy_report_joules():
+    report = EnergyReport(design="x", elapsed_s=2.0, avg_power_w=100.0)
+    assert report.energy_j == pytest.approx(200.0)
+
+
+def test_energy_experiment_saves_energy():
+    result = energy.run(CFG, datasets=("reddit",), n_batches=8,
+                        n_workers=4)
+    d = result["per_dataset"]["reddit"]
+    assert d["energy_saving_vs_mmap"] > 1.5
+    # energy saving tracks time saving (firmware adds ~no power)
+    assert d["energy_saving_vs_mmap"] == pytest.approx(
+        d["time_saving_vs_mmap"], rel=0.4
+    )
+    assert "power" in energy.render(result)
+
+
+def test_energy_comparison_uses_oracle_extra_power():
+    class FakeResult:
+        elapsed_s = 1.0
+        gpu_idle_fraction = 0.5
+
+    reports = energy_comparison(
+        {"smartsage-hwsw": FakeResult(), "smartsage-oracle": FakeResult()}
+    )
+    assert (
+        reports["smartsage-oracle"].avg_power_w
+        > reports["smartsage-hwsw"].avg_power_w
+    )
+
+
+# -- ablations -------------------------------------------------------------
+
+
+def test_ablations_ladder():
+    result = ablations.run(CFG, dataset_name="reddit")
+    s = result["speedups"]
+    assert s["ssd-mmap (baseline)"] == pytest.approx(1.0)
+    # the ladder must be ordered: baseline < SW variants < HW/SW variants
+    assert s["SW without scratchpad"] > 1.0
+    assert s["HW/SW (full)"] > s["SW (direct I/O + scratchpad)"]
+    assert s["HW/SW (full)"] > s["HW/SW without coalescing"]
+    text = ablations.render(result)
+    assert "[ok] coalescing helps" in text
+
+
+# -- batch-size sensitivity ---------------------------------------------
+
+
+def test_batch_sensitivity_flat():
+    result = sensitivity_batch.run(CFG, datasets=("reddit",))
+    assert result["max_spread"] < 1.8
+    assert "little effect" in sensitivity_batch.render(result)
+
+
+# -- fidelity ---------------------------------------------------------------
+
+
+def test_fidelity_modes_agree_single_worker():
+    result = fidelity.run(CFG, dataset_name="reddit")
+    for design, d in result["designs"].items():
+        assert d["agreement_1w"] == pytest.approx(1.0, abs=0.35), design
+        assert d["contention_8w"] > 0.8, design
+    fidelity.render(result)

@@ -1,0 +1,217 @@
+"""Tests for the GNN extensions: pooling aggregator and GAT attention."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gnn import (
+    Adam,
+    Block,
+    FeatureTable,
+    GATConv,
+    GraphSAGE,
+    NeighborSampler,
+    PoolingSAGEConv,
+    Trainer,
+    max_pool_aggregate,
+)
+from repro.graph import load_dataset
+
+
+def make_block():
+    # 2 dst; dst0 samples {src2, src3}, dst1 samples {src3}
+    return Block(
+        dst=np.array([10, 11]),
+        src=np.array([10, 11, 20, 21]),
+        edge_src=np.array([2, 3, 3]),
+        edge_dst=np.array([0, 0, 1]),
+    )
+
+
+# -- max pooling ----------------------------------------------------------
+
+
+def test_max_pool_values():
+    block = make_block()
+    h = np.array([[0.0], [0.0], [2.0], [4.0]])
+    pooled, mask = max_pool_aggregate(block, h)
+    assert pooled[0, 0] == pytest.approx(4.0)  # max(2, 4)
+    assert pooled[1, 0] == pytest.approx(4.0)
+    assert mask.shape == (3, 1)
+
+
+def test_max_pool_zero_degree_is_zero():
+    block = Block(
+        dst=np.array([1]), src=np.array([1]),
+        edge_src=np.array([], dtype=np.int64),
+        edge_dst=np.array([], dtype=np.int64),
+    )
+    pooled, _mask = max_pool_aggregate(block, -np.ones((1, 3)))
+    assert np.allclose(pooled, 0.0)
+
+
+def test_pooling_conv_forward_shape():
+    rng = np.random.default_rng(0)
+    conv = PoolingSAGEConv(4, 8, rng)
+    out = conv.forward(make_block(), rng.normal(size=(4, 4)))
+    assert out.shape == (2, 8)
+
+
+def test_pooling_conv_gradcheck():
+    rng = np.random.default_rng(1)
+    conv = PoolingSAGEConv(3, 2, rng, activation=False)
+    block = make_block()
+    h = rng.normal(size=(4, 3))
+
+    def loss_fn(hh):
+        return float((conv.forward(block, hh) ** 2).sum())
+
+    out = conv.forward(block, h)
+    for p in conv.parameters():
+        p.zero_grad()
+    grad_in = conv.backward(2 * out)
+    eps = 1e-6
+    for i in range(4):
+        for j in range(3):
+            h2 = h.copy()
+            h2[i, j] += eps
+            up = loss_fn(h2)
+            h2[i, j] -= 2 * eps
+            down = loss_fn(h2)
+            numeric = (up - down) / (2 * eps)
+            assert numeric == pytest.approx(
+                grad_in[i, j], rel=1e-3, abs=1e-7
+            )
+
+
+def test_pooling_conv_backward_before_forward():
+    with pytest.raises(ConfigError):
+        PoolingSAGEConv(2, 2, np.random.default_rng(0)).backward(
+            np.ones((1, 2))
+        )
+
+
+# -- GAT --------------------------------------------------------------------
+
+
+def test_gat_forward_shape():
+    rng = np.random.default_rng(2)
+    conv = GATConv(4, 8, rng)
+    out = conv.forward(make_block(), rng.normal(size=(4, 4)))
+    assert out.shape == (2, 8)
+
+
+def test_gat_attention_normalized():
+    """Per-destination attention weights must sum to 1."""
+    rng = np.random.default_rng(3)
+    conv = GATConv(4, 8, rng)
+    block = make_block()
+    conv.forward(block, rng.normal(size=(4, 4)))
+    alpha = conv._cache["alpha"]
+    sums = np.zeros(block.num_dst)
+    np.add.at(sums, block.edge_dst, alpha)
+    assert np.allclose(sums, 1.0)
+
+
+def test_gat_gradcheck_wrt_input():
+    rng = np.random.default_rng(4)
+    conv = GATConv(3, 2, rng)
+    block = make_block()
+    h = rng.normal(size=(4, 3))
+
+    def loss_fn(hh):
+        return float((conv.forward(block, hh) ** 2).sum())
+
+    out = conv.forward(block, h)
+    for p in conv.parameters():
+        p.zero_grad()
+    grad_in = conv.backward(2 * out)
+    eps = 1e-6
+    for i in range(4):
+        for j in range(3):
+            h2 = h.copy()
+            h2[i, j] += eps
+            up = loss_fn(h2)
+            h2[i, j] -= 2 * eps
+            down = loss_fn(h2)
+            numeric = (up - down) / (2 * eps)
+            assert numeric == pytest.approx(
+                grad_in[i, j], rel=1e-3, abs=1e-7
+            )
+
+
+def test_gat_gradcheck_wrt_attention_params():
+    rng = np.random.default_rng(5)
+    conv = GATConv(3, 2, rng)
+    block = make_block()
+    h = rng.normal(size=(4, 3))
+
+    def loss_fn():
+        return float((conv.forward(block, h) ** 2).sum())
+
+    out = conv.forward(block, h)
+    for p in conv.parameters():
+        p.zero_grad()
+    conv.backward(2 * out)
+    analytic = conv.attn_src.grad.copy()
+    eps = 1e-6
+    for j in range(2):
+        conv.attn_src.value[j] += eps
+        up = loss_fn()
+        conv.attn_src.value[j] -= 2 * eps
+        down = loss_fn()
+        conv.attn_src.value[j] += eps
+        numeric = (up - down) / (2 * eps)
+        assert numeric == pytest.approx(analytic[j], rel=1e-3, abs=1e-7)
+
+
+def test_gat_zero_degree_block():
+    rng = np.random.default_rng(6)
+    conv = GATConv(3, 2, rng)
+    block = Block(
+        dst=np.array([1]), src=np.array([1]),
+        edge_src=np.array([], dtype=np.int64),
+        edge_dst=np.array([], dtype=np.int64),
+    )
+    out = conv.forward(block, rng.normal(size=(1, 3)))
+    assert out.shape == (1, 2)
+    grad = conv.backward(np.ones((1, 2)))
+    assert grad.shape == (1, 3)
+
+
+def test_gat_validation():
+    rng = np.random.default_rng(7)
+    with pytest.raises(ConfigError):
+        GATConv(0, 2, rng)
+    conv = GATConv(2, 2, rng)
+    with pytest.raises(ConfigError):
+        conv.backward(np.ones((1, 2)))
+
+
+# -- model integration ------------------------------------------------------
+
+
+@pytest.mark.parametrize("conv_type", ["pool", "gat"])
+def test_alternative_convs_train(conv_type):
+    ds = load_dataset("amazon", variant="in-memory", scale=1e-5, seed=0)
+    feats = FeatureTable(ds.features(noise=0.6))
+    sampler = NeighborSampler(ds.graph, fanouts=(4, 4))
+    model = GraphSAGE(
+        ds.feature_dim, 16, ds.num_classes,
+        rng=np.random.default_rng(0), conv_type=conv_type,
+    )
+    trainer = Trainer(
+        model, sampler, feats, ds.labels(),
+        Adam(model.parameters(), lr=1e-2), batch_size=32,
+    )
+    train, _ = ds.train_test_split()
+    result = trainer.fit(train[:128], epochs=6,
+                         rng=np.random.default_rng(1))
+    early = float(np.mean(result.losses[:3]))
+    late = float(np.mean(result.losses[-3:]))
+    assert late < early, conv_type
+
+
+def test_unknown_conv_type_rejected():
+    with pytest.raises(ConfigError):
+        GraphSAGE(4, 8, 2, conv_type="transformer")

@@ -1,0 +1,231 @@
+"""Tests for numpy layers, losses, optimizers -- including grad checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gnn import (
+    SGD,
+    Adam,
+    Block,
+    Linear,
+    ReLU,
+    SAGEConv,
+    cross_entropy,
+    mean_aggregate,
+    softmax,
+)
+
+
+def make_block():
+    # 2 dst nodes; dst 0 has neighbors {src2, src3}, dst 1 has {src3}
+    return Block(
+        dst=np.array([10, 11]),
+        src=np.array([10, 11, 20, 21]),
+        edge_src=np.array([2, 3, 3]),
+        edge_dst=np.array([0, 0, 1]),
+    )
+
+
+def test_mean_aggregate_values():
+    block = make_block()
+    h = np.array([[0.0], [0.0], [2.0], [4.0]])
+    agg = mean_aggregate(block, h)
+    assert agg[0, 0] == pytest.approx(3.0)   # mean(2, 4)
+    assert agg[1, 0] == pytest.approx(4.0)
+
+
+def test_mean_aggregate_no_edges_zero():
+    block = Block(
+        dst=np.array([1]), src=np.array([1]),
+        edge_src=np.array([], dtype=np.int64),
+        edge_dst=np.array([], dtype=np.int64),
+    )
+    agg = mean_aggregate(block, np.ones((1, 3)))
+    assert np.allclose(agg, 0.0)
+
+
+def test_linear_forward_shape_and_backward():
+    rng = np.random.default_rng(0)
+    lin = Linear(4, 3, rng)
+    x = rng.normal(size=(5, 4))
+    y = lin.forward(x)
+    assert y.shape == (5, 3)
+    grad_in = lin.backward(np.ones((5, 3)))
+    assert grad_in.shape == (5, 4)
+    assert lin.weight.grad.shape == (4, 3)
+
+
+def test_linear_gradcheck():
+    rng = np.random.default_rng(1)
+    lin = Linear(3, 2, rng)
+    x = rng.normal(size=(4, 3))
+
+    def loss_fn():
+        return float((lin.forward(x) ** 2).sum())
+
+    base = lin.forward(x)
+    lin.weight.zero_grad()
+    lin.backward(2 * base)
+    analytic = lin.weight.grad.copy()
+    eps = 1e-6
+    for i in range(3):
+        for j in range(2):
+            lin.weight.value[i, j] += eps
+            up = loss_fn()
+            lin.weight.value[i, j] -= 2 * eps
+            down = loss_fn()
+            lin.weight.value[i, j] += eps
+            numeric = (up - down) / (2 * eps)
+            assert numeric == pytest.approx(analytic[i, j], rel=1e-4)
+
+
+def test_relu_masks_negatives():
+    relu = ReLU()
+    out = relu.forward(np.array([[-1.0, 2.0]]))
+    assert out.tolist() == [[0.0, 2.0]]
+    grad = relu.backward(np.array([[5.0, 5.0]]))
+    assert grad.tolist() == [[0.0, 5.0]]
+
+
+def test_backward_before_forward_raises():
+    rng = np.random.default_rng(2)
+    with pytest.raises(ConfigError):
+        Linear(2, 2, rng).backward(np.ones((1, 2)))
+    with pytest.raises(ConfigError):
+        ReLU().backward(np.ones((1, 2)))
+    with pytest.raises(ConfigError):
+        SAGEConv(2, 2, rng).backward(np.ones((1, 2)))
+
+
+def test_sageconv_forward_shape():
+    rng = np.random.default_rng(3)
+    conv = SAGEConv(4, 8, rng)
+    block = make_block()
+    h_src = rng.normal(size=(4, 4))
+    out = conv.forward(block, h_src)
+    assert out.shape == (2, 8)
+    assert (out >= 0).all()  # ReLU applied
+
+
+def test_sageconv_gradcheck_wrt_input():
+    rng = np.random.default_rng(4)
+    conv = SAGEConv(3, 2, rng, activation=False)
+    block = make_block()
+    h = rng.normal(size=(4, 3))
+
+    def loss_fn(hh):
+        return float((conv.forward(block, hh) ** 2).sum())
+
+    out = conv.forward(block, h)
+    for p in conv.parameters():
+        p.zero_grad()
+    grad_in = conv.backward(2 * out)
+    eps = 1e-6
+    for i in range(4):
+        for j in range(3):
+            h2 = h.copy()
+            h2[i, j] += eps
+            up = loss_fn(h2)
+            h2[i, j] -= 2 * eps
+            down = loss_fn(h2)
+            numeric = (up - down) / (2 * eps)
+            assert numeric == pytest.approx(grad_in[i, j], rel=1e-4, abs=1e-8)
+
+
+def test_softmax_rows_sum_to_one():
+    logits = np.random.default_rng(5).normal(size=(6, 4)) * 10
+    probs = softmax(logits)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    assert (probs >= 0).all()
+
+
+def test_cross_entropy_perfect_prediction_near_zero():
+    logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+    loss, _grad = cross_entropy(logits, np.array([0, 1]))
+    assert loss == pytest.approx(0.0, abs=1e-6)
+
+
+def test_cross_entropy_gradcheck():
+    rng = np.random.default_rng(6)
+    logits = rng.normal(size=(3, 4))
+    labels = np.array([1, 3, 0])
+    _loss, grad = cross_entropy(logits.copy(), labels)
+    eps = 1e-6
+    for i in range(3):
+        for j in range(4):
+            up_logits = logits.copy()
+            up_logits[i, j] += eps
+            up, _ = cross_entropy(up_logits, labels)
+            dn_logits = logits.copy()
+            dn_logits[i, j] -= eps
+            down, _ = cross_entropy(dn_logits, labels)
+            numeric = (up - down) / (2 * eps)
+            assert numeric == pytest.approx(grad[i, j], rel=1e-4, abs=1e-9)
+
+
+def test_cross_entropy_validation():
+    with pytest.raises(ConfigError):
+        cross_entropy(np.ones((2, 3)), np.array([0]))
+    with pytest.raises(ConfigError):
+        cross_entropy(np.ones((2, 3)), np.array([0, 5]))
+
+
+def test_sgd_reduces_quadratic():
+    rng = np.random.default_rng(7)
+    lin = Linear(1, 1, rng)
+    opt = SGD(lin.parameters(), lr=0.1)
+    x = np.array([[1.0]])
+    losses = []
+    for _ in range(50):
+        y = lin.forward(x)
+        loss = float((y ** 2).sum())
+        losses.append(loss)
+        opt.zero_grad()
+        lin.backward(2 * y)
+        opt.step()
+    assert losses[-1] < losses[0] * 0.01
+
+
+def test_sgd_momentum_accelerates():
+    def run(momentum):
+        rng = np.random.default_rng(8)
+        lin = Linear(1, 1, rng)
+        opt = SGD(lin.parameters(), lr=0.01, momentum=momentum)
+        x = np.array([[1.0]])
+        for _ in range(30):
+            y = lin.forward(x)
+            opt.zero_grad()
+            lin.backward(2 * y)
+            opt.step()
+        return float((lin.forward(x) ** 2).sum())
+
+    assert run(0.9) < run(0.0)
+
+
+def test_adam_reduces_quadratic():
+    rng = np.random.default_rng(9)
+    lin = Linear(2, 2, rng)
+    opt = Adam(lin.parameters(), lr=0.05)
+    x = rng.normal(size=(4, 2))
+    first = last = None
+    for step in range(80):
+        y = lin.forward(x)
+        loss = float((y ** 2).sum())
+        first = loss if first is None else first
+        last = loss
+        opt.zero_grad()
+        lin.backward(2 * y)
+        opt.step()
+    assert last < first * 0.05
+
+
+def test_optimizer_validation():
+    rng = np.random.default_rng(10)
+    lin = Linear(1, 1, rng)
+    with pytest.raises(ConfigError):
+        SGD(lin.parameters(), lr=0.0)
+    with pytest.raises(ConfigError):
+        SGD(lin.parameters(), lr=0.1, momentum=1.0)
+    with pytest.raises(ConfigError):
+        Adam(lin.parameters(), lr=-1.0)

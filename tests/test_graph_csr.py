@@ -1,0 +1,239 @@
+"""Unit and property tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph, complete_graph
+
+
+def small_graph():
+    # 0 -> 1,2 ; 1 -> 2 ; 2 -> (none) ; 3 -> 0,1,2
+    return CSRGraph.from_adjacency([[1, 2], [2], [], [0, 1, 2]])
+
+
+def test_from_adjacency_basic():
+    g = small_graph()
+    assert g.num_nodes == 4
+    assert g.num_edges == 6
+    assert g.degree(0) == 2
+    assert g.degree(2) == 0
+    assert list(g.neighbors(3)) == [0, 1, 2]
+
+
+def test_from_edges_matches_adjacency():
+    src = [0, 0, 1, 3, 3, 3]
+    dst = [1, 2, 2, 0, 1, 2]
+    g = CSRGraph.from_edges(src, dst, num_nodes=4)
+    h = small_graph()
+    assert np.array_equal(g.indptr, h.indptr)
+    assert np.array_equal(np.sort(g.neighbors(0)), np.sort(h.neighbors(0)))
+
+
+def test_from_edges_infers_num_nodes():
+    g = CSRGraph.from_edges([0, 5], [5, 0])
+    assert g.num_nodes == 6
+
+
+def test_degrees_vectorized():
+    g = small_graph()
+    assert np.array_equal(g.degrees(), [2, 1, 0, 3])
+    assert np.array_equal(g.degrees(np.array([3, 0])), [3, 2])
+
+
+def test_average_degree():
+    g = small_graph()
+    assert g.average_degree == pytest.approx(6 / 4)
+
+
+def test_has_edge():
+    g = small_graph()
+    assert g.has_edge(0, 1)
+    assert not g.has_edge(1, 0)
+
+
+def test_invalid_indptr_rejected():
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([1, 2]), np.array([0]))
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 2]), np.array([0]))  # indptr[-1] mismatch
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 2, 1]), np.array([0, 1]))  # decreasing
+
+
+def test_out_of_range_neighbor_rejected():
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 1]), np.array([5]))
+
+
+def test_node_bounds_checked():
+    g = small_graph()
+    with pytest.raises(GraphError):
+        g.degree(4)
+    with pytest.raises(GraphError):
+        g.neighbors(-1)
+
+
+def test_nbytes_uses_8_byte_ids_by_default():
+    g = small_graph()
+    assert g.nbytes() == 6 * 8
+    assert g.nbytes(id_bytes=4) == 6 * 4
+
+
+def test_reverse_swaps_direction():
+    g = small_graph()
+    r = g.reverse()
+    assert r.has_edge(1, 0)
+    assert not r.has_edge(0, 1)
+    assert r.num_edges == g.num_edges
+
+
+def test_to_undirected_doubles_edges():
+    g = small_graph()
+    u = g.to_undirected()
+    assert u.num_edges == 2 * g.num_edges
+    assert u.has_edge(1, 0) and u.has_edge(0, 1)
+
+
+def test_edges_iterator():
+    g = small_graph()
+    assert sorted(g.edges()) == [
+        (0, 1), (0, 2), (1, 2), (3, 0), (3, 1), (3, 2)
+    ]
+
+
+def test_multigraph_allowed():
+    g = CSRGraph.from_edges([0, 0, 0], [1, 1, 1], num_nodes=2)
+    assert g.degree(0) == 3
+    assert g.average_degree == 1.5
+
+
+# -- sampling -------------------------------------------------------------
+
+
+def test_sample_with_replacement_counts():
+    g = small_graph()
+    rng = np.random.default_rng(0)
+    samples, offsets = g.sample_neighbors(
+        np.array([0, 3]), fanout=5, rng=rng, replace=True
+    )
+    assert offsets.tolist() == [0, 5, 10]
+    assert samples.size == 10
+    assert set(samples[:5]).issubset({1, 2})
+    assert set(samples[5:]).issubset({0, 1, 2})
+
+
+def test_sample_zero_degree_node_yields_nothing():
+    g = small_graph()
+    rng = np.random.default_rng(0)
+    samples, offsets = g.sample_neighbors(
+        np.array([2]), fanout=3, rng=rng, replace=True
+    )
+    assert samples.size == 0
+    assert offsets.tolist() == [0, 0]
+
+
+def test_sample_without_replacement_no_duplicates():
+    g = complete_graph(20)
+    rng = np.random.default_rng(1)
+    samples, offsets = g.sample_neighbors(
+        np.array([5]), fanout=10, rng=rng, replace=False
+    )
+    assert samples.size == 10
+    assert len(set(samples.tolist())) == 10
+    assert 5 not in samples  # no self loops in complete_graph
+
+
+def test_sample_without_replacement_low_degree_returns_all():
+    g = small_graph()
+    rng = np.random.default_rng(2)
+    samples, offsets = g.sample_neighbors(
+        np.array([1]), fanout=10, rng=rng, replace=False
+    )
+    assert samples.tolist() == [2]
+    assert offsets.tolist() == [0, 1]
+
+
+def test_sample_rejects_bad_fanout_and_targets():
+    g = small_graph()
+    rng = np.random.default_rng(0)
+    with pytest.raises(GraphError):
+        g.sample_neighbors(np.array([0]), fanout=0, rng=rng)
+    with pytest.raises(GraphError):
+        g.sample_neighbors(np.array([99]), fanout=1, rng=rng)
+
+
+def test_sampling_deterministic_given_seed():
+    g = complete_graph(50)
+    targets = np.arange(10)
+    s1, _ = g.sample_neighbors(
+        targets, 5, np.random.default_rng(7), replace=True
+    )
+    s2, _ = g.sample_neighbors(
+        targets, 5, np.random.default_rng(7), replace=True
+    )
+    assert np.array_equal(s1, s2)
+
+
+# -- property-based -----------------------------------------------------
+
+
+@st.composite
+def adjacency_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    return [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                max_size=8,
+            )
+        )
+        for _ in range(n)
+    ]
+
+
+@given(adjacency_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_roundtrip_preserves_adjacency(adj):
+    g = CSRGraph.from_adjacency(adj)
+    assert g.num_nodes == len(adj)
+    assert g.num_edges == sum(len(a) for a in adj)
+    for u, nbrs in enumerate(adj):
+        assert sorted(g.neighbors(u).tolist()) == sorted(nbrs)
+
+
+@given(adjacency_lists())
+@settings(max_examples=60, deadline=None)
+def test_indptr_is_degree_prefix_sum(adj):
+    g = CSRGraph.from_adjacency(adj)
+    assert np.array_equal(np.diff(g.indptr), [len(a) for a in adj])
+
+
+@given(adjacency_lists(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_samples_are_actual_neighbors(adj, fanout):
+    g = CSRGraph.from_adjacency(adj)
+    rng = np.random.default_rng(0)
+    targets = np.arange(g.num_nodes)
+    samples, offsets = g.sample_neighbors(
+        targets, fanout, rng, replace=True
+    )
+    assert offsets[-1] == samples.size
+    for i in range(g.num_nodes):
+        mine = samples[offsets[i]: offsets[i + 1]]
+        nbrs = set(adj[i])
+        if nbrs:
+            assert set(mine.tolist()).issubset(nbrs)
+            assert mine.size == fanout
+        else:
+            assert mine.size == 0
+
+
+@given(adjacency_lists())
+@settings(max_examples=40, deadline=None)
+def test_reverse_twice_is_identity_on_edge_multiset(adj):
+    g = CSRGraph.from_adjacency(adj)
+    rr = g.reverse().reverse()
+    assert sorted(g.edges()) == sorted(rr.edges())

@@ -1,0 +1,129 @@
+"""Tests for the Table I dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import DATASET_NAMES, DATASETS, load_dataset, table1_rows
+from repro.graph.datasets import IN_MEMORY, LARGE_SCALE
+
+
+def test_all_five_datasets_registered():
+    assert sorted(DATASET_NAMES) == sorted(
+        ["reddit", "movielens", "amazon", "ogbn-100m", "protein-pi"]
+    )
+
+
+def test_paper_stats_match_table1():
+    reddit = DATASETS["reddit"]
+    assert reddit.inmem_nodes == pytest.approx(233e3)
+    assert reddit.large_edges == pytest.approx(53.9e9)
+    assert reddit.feature_dim == 602
+    ml = DATASETS["movielens"]
+    assert ml.feature_dim == 1000
+    assert ml.large_gb == 442
+
+
+def test_avg_degree_from_paper():
+    reddit = DATASETS["reddit"]
+    assert reddit.avg_degree(IN_MEMORY) == pytest.approx(491.8, rel=0.01)
+    assert reddit.avg_degree(LARGE_SCALE) == pytest.approx(1445, rel=0.01)
+
+
+def test_node_and_edge_multipliers():
+    reddit = DATASETS["reddit"]
+    assert reddit.node_multiplier == pytest.approx(160, rel=0.01)
+    assert reddit.edge_multiplier == pytest.approx(470, rel=0.01)
+
+
+def test_instantiate_scales_nodes_but_keeps_degree():
+    ds = load_dataset("reddit", variant=LARGE_SCALE, scale=1e-5)
+    paper_deg = DATASETS["reddit"].avg_degree(LARGE_SCALE)
+    assert ds.num_nodes == pytest.approx(373, abs=5)
+    assert ds.graph.average_degree == pytest.approx(paper_deg, rel=0.02)
+
+
+def test_instantiate_min_nodes_floor():
+    ds = load_dataset("reddit", variant=IN_MEMORY, scale=1e-9)
+    assert ds.num_nodes == 256
+
+
+def test_instantiation_deterministic():
+    a = load_dataset("amazon", scale=1e-5, seed=3)
+    b = load_dataset("amazon", scale=1e-5, seed=3)
+    assert np.array_equal(a.graph.indices, b.graph.indices)
+
+
+def test_different_seeds_differ():
+    a = load_dataset("amazon", scale=1e-5, seed=1)
+    b = load_dataset("amazon", scale=1e-5, seed=2)
+    assert not np.array_equal(a.graph.indices, b.graph.indices)
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ConfigError):
+        load_dataset("imaginary")
+
+
+def test_bad_variant_and_scale_rejected():
+    with pytest.raises(ConfigError):
+        load_dataset("reddit", variant="huge")
+    with pytest.raises(ConfigError):
+        load_dataset("reddit", scale=0.0)
+
+
+def test_byte_accounting():
+    ds = load_dataset("reddit", variant=IN_MEMORY, scale=1e-4)
+    assert ds.edge_list_bytes() == ds.num_edges * 8
+    assert ds.feature_table_bytes() == ds.num_nodes * 602 * 4
+    assert ds.total_bytes() == ds.edge_list_bytes() + ds.feature_table_bytes()
+
+
+def test_labels_and_features_shapes():
+    ds = load_dataset("amazon", variant=IN_MEMORY, scale=1e-6)
+    labels = ds.labels()
+    feats = ds.features()
+    assert labels.shape == (ds.num_nodes,)
+    assert labels.min() >= 0 and labels.max() < ds.num_classes
+    assert feats.shape == (ds.num_nodes, ds.feature_dim)
+    assert feats.dtype == np.float32
+
+
+def test_features_are_label_correlated():
+    """Class centroids should make same-class features closer."""
+    ds = load_dataset("amazon", variant=IN_MEMORY, scale=1e-6)
+    feats, labels = ds.features(noise=0.5), ds.labels()
+    cls = labels[0]
+    same = feats[labels == cls]
+    other = feats[labels != cls]
+    d_same = np.linalg.norm(same - same.mean(0), axis=1).mean()
+    d_other = np.linalg.norm(other - same.mean(0), axis=1).mean()
+    assert d_same < d_other
+
+
+def test_train_test_split_partitions():
+    ds = load_dataset("amazon", variant=IN_MEMORY, scale=1e-6)
+    train, test = ds.train_test_split(0.75)
+    assert len(train) + len(test) == ds.num_nodes
+    assert len(set(train.tolist()) & set(test.tolist())) == 0
+
+
+def test_table1_rows_complete():
+    rows = table1_rows()
+    assert len(rows) == 5
+    reddit = next(r for r in rows if r["dataset"] == "reddit")
+    assert reddit["features"] == 602
+    assert reddit["node_multiplier"] == pytest.approx(160, rel=0.01)
+    # Table I shows densification for most datasets (higher avg degree in
+    # the large-scale variant); OGBN-100M is the published exception.
+    densified = [r["dataset"] for r in rows if r["densified"]]
+    assert "reddit" in densified and "movielens" in densified
+    assert "ogbn-100m" not in densified
+
+
+def test_summary_fields():
+    ds = load_dataset("protein-pi", scale=1e-5)
+    s = ds.summary()
+    assert s["name"] == "protein-pi"
+    assert s["paper_avg_degree"] == pytest.approx(967, rel=0.01)
+    assert s["edge_list_mb"] > 0

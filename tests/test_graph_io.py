@@ -1,0 +1,65 @@
+"""Tests for graph/dataset serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    load_dataset,
+    load_dataset_file,
+    load_graph,
+    rmat_graph,
+    save_dataset,
+    save_graph,
+)
+
+
+def test_graph_roundtrip(tmp_path):
+    g = rmat_graph(200, 1500, np.random.default_rng(0))
+    path = tmp_path / "graph.npz"
+    save_graph(g, path)
+    loaded = load_graph(path)
+    assert np.array_equal(loaded.indptr, g.indptr)
+    assert np.array_equal(loaded.indices, g.indices)
+
+
+def test_dataset_roundtrip(tmp_path):
+    ds = load_dataset("reddit", variant="large-scale", scale=1e-5,
+                      seed=3)
+    path = tmp_path / "reddit.npz"
+    save_dataset(ds, path)
+    loaded = load_dataset_file(path)
+    assert loaded.name == "reddit"
+    assert loaded.variant == "large-scale"
+    assert loaded.seed == 3
+    assert loaded.num_edges == ds.num_edges
+    assert np.array_equal(loaded.graph.indices, ds.graph.indices)
+    # identity metadata drives labels/features regeneration
+    assert np.array_equal(loaded.labels(), ds.labels())
+
+
+def test_load_graph_rejects_wrong_file(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, foo=np.arange(3))
+    with pytest.raises(GraphError):
+        load_graph(path)
+
+
+def test_load_dataset_rejects_plain_graph(tmp_path):
+    g = rmat_graph(50, 300, np.random.default_rng(1))
+    path = tmp_path / "graph.npz"
+    save_graph(g, path)
+    with pytest.raises(GraphError):
+        load_dataset_file(path)
+
+
+def test_version_check(tmp_path):
+    path = tmp_path / "future.npz"
+    np.savez(
+        path,
+        version=np.int64(99),
+        indptr=np.array([0, 1]),
+        indices=np.array([0]),
+    )
+    with pytest.raises(GraphError, match="version"):
+        load_graph(path)

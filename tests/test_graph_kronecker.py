@@ -1,0 +1,111 @@
+"""Tests for Kronecker fractal expansion (paper Section V / Fig 13)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    CSRGraph,
+    expansion_factors,
+    kronecker_expand,
+    powerlaw_graph,
+    seed_graph_for,
+    shape_similarity,
+)
+
+
+def ring(n):
+    src = np.arange(n)
+    dst = (src + 1) % n
+    return CSRGraph.from_edges(src, dst, num_nodes=n)
+
+
+def test_expansion_multiplies_nodes_and_edges():
+    base = ring(10)
+    seed = ring(4)
+    expanded = kronecker_expand(base, seed)
+    assert expanded.num_nodes == 40
+    assert expanded.num_edges == base.num_edges * seed.num_edges
+
+
+def test_expansion_edge_identity():
+    """Every product edge (u*k+a, v*k+b) must exist."""
+    base = CSRGraph.from_adjacency([[1], [0]])
+    seed = CSRGraph.from_adjacency([[1], [0]])
+    expanded = kronecker_expand(base, seed)
+    assert sorted(expanded.edges()) == sorted(
+        [(0 * 2 + 0, 1 * 2 + 1), (0 * 2 + 1, 1 * 2 + 0),
+         (1 * 2 + 0, 0 * 2 + 1), (1 * 2 + 1, 0 * 2 + 0)]
+    )
+
+
+def test_densification_with_dense_seed():
+    """Seed average degree > 1 implies expanded avg degree grows (the
+    densification power law the paper's datasets reflect)."""
+    base = powerlaw_graph(500, 6.0, np.random.default_rng(0))
+    seed = seed_graph_for(4, 12, np.random.default_rng(1))
+    expanded = kronecker_expand(base, seed)
+    factors = expansion_factors(base, expanded)
+    assert factors["densified"]
+    assert factors["node_multiplier"] == pytest.approx(4.0)
+    assert factors["expanded_avg_degree"] > factors["base_avg_degree"]
+
+
+def test_power_law_shape_preserved():
+    """Fig 13: degree-distribution shape similar before/after expansion."""
+    base = powerlaw_graph(2000, 8.0, np.random.default_rng(2))
+    seed = seed_graph_for(4, 10, np.random.default_rng(3))
+    expanded = kronecker_expand(base, seed)
+    assert shape_similarity(base, expanded) > 0.75
+
+
+def test_edge_subsampling_hits_fractional_multiplier():
+    base = powerlaw_graph(500, 8.0, np.random.default_rng(4))
+    seed = seed_graph_for(2, 2, np.random.default_rng(5))
+    expanded = kronecker_expand(
+        base, seed, rng=np.random.default_rng(6), edge_keep_prob=0.78
+    )
+    target = base.num_edges * seed.num_edges * 0.78
+    assert expanded.num_edges == pytest.approx(target, rel=0.1)
+
+
+def test_subsampling_requires_rng():
+    base = ring(4)
+    seed = ring(2)
+    with pytest.raises(GraphError):
+        kronecker_expand(base, seed, edge_keep_prob=0.5)
+    with pytest.raises(GraphError):
+        kronecker_expand(base, seed, edge_keep_prob=0.0)
+
+
+def test_seed_graph_multipliers():
+    rng = np.random.default_rng(7)
+    seed = seed_graph_for(8, 24, rng)
+    assert seed.num_nodes == 8
+    assert seed.num_edges == pytest.approx(24, abs=2)
+
+
+def test_seed_graph_identity_multiplier():
+    seed = seed_graph_for(1, 3, np.random.default_rng(8))
+    base = ring(5)
+    expanded = kronecker_expand(base, seed)
+    assert expanded.num_nodes == 5
+    assert expanded.num_edges == base.num_edges * 3
+
+
+def test_seed_graph_validation():
+    rng = np.random.default_rng(9)
+    with pytest.raises(GraphError):
+        seed_graph_for(0, 5, rng)
+    with pytest.raises(GraphError):
+        seed_graph_for(4, 0, rng)
+
+
+def test_expansion_connectivity_via_ring_backbone():
+    """Each base node's block is internally connected through the seed
+    ring, so the expansion does not shatter into isolated copies."""
+    base = ring(6)
+    seed = seed_graph_for(4, 8, np.random.default_rng(10))
+    expanded = kronecker_expand(base, seed)
+    # every expanded node should have at least one out-edge
+    assert (expanded.degrees() > 0).mean() > 0.9

@@ -1,0 +1,135 @@
+"""Tests for the on-SSD byte/LBA layout of graph data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.graph import CSRGraph, EdgeListLayout, FeatureTableLayout
+
+
+def graph_with_degrees(degrees):
+    adj = [[(i + 1) % len(degrees)] * d for i, d in enumerate(degrees)]
+    return CSRGraph.from_adjacency(adj)
+
+
+def test_node_extent_sequential():
+    g = graph_with_degrees([2, 3, 1])
+    layout = EdgeListLayout(g, id_bytes=8, lba_bytes=4096)
+    assert layout.node_extent(0) == (0, 16)
+    assert layout.node_extent(1) == (16, 24)
+    assert layout.node_extent(2) == (40, 8)
+    assert layout.total_bytes == 48
+    assert layout.total_lbas == 1
+
+
+def test_node_blocks_small_lists_share_block():
+    g = graph_with_degrees([2, 3, 1])
+    layout = EdgeListLayout(g, lba_bytes=4096)
+    first, counts = layout.node_blocks(np.array([0, 1, 2]))
+    assert first.tolist() == [0, 0, 0]
+    assert counts.tolist() == [1, 1, 1]
+
+
+def test_node_blocks_big_list_spans_blocks():
+    # 1000 neighbors * 8B = 8000 bytes -> 2-3 LBAs of 4096
+    g = graph_with_degrees([1000])
+    layout = EdgeListLayout(g)
+    _first, counts = layout.node_blocks(np.array([0]))
+    assert counts[0] in (2, 3)
+
+
+def test_node_blocks_zero_degree():
+    g = graph_with_degrees([0, 5])
+    layout = EdgeListLayout(g)
+    _first, counts = layout.node_blocks(np.array([0, 1]))
+    assert counts.tolist() == [0, 1]
+
+
+def test_base_byte_offsets_blocks():
+    g = graph_with_degrees([2])
+    layout = EdgeListLayout(g, base_byte=8192)
+    first, _counts = layout.node_blocks(np.array([0]))
+    assert first[0] == 2
+    assert layout.base_lba == 2
+
+
+def test_base_byte_must_be_aligned():
+    g = graph_with_degrees([2])
+    with pytest.raises(StorageError):
+        EdgeListLayout(g, base_byte=100)
+
+
+def test_node_bytes_vectorized():
+    g = graph_with_degrees([2, 0, 7])
+    layout = EdgeListLayout(g)
+    assert layout.node_bytes(np.array([0, 1, 2])).tolist() == [16, 0, 56]
+
+
+def test_flash_pages_counts():
+    # 5000 neighbors * 8 = 40000 bytes -> 3 flash pages of 16 KiB
+    g = graph_with_degrees([5000])
+    layout = EdgeListLayout(g)
+    pages = layout.flash_pages(np.array([0]), page_bytes=16384)
+    assert pages[0] == 3
+
+
+def test_end_byte_is_lba_aligned():
+    g = graph_with_degrees([3])
+    layout = EdgeListLayout(g)
+    assert layout.end_byte % 4096 == 0
+    assert layout.end_byte >= layout.total_bytes
+
+
+def test_feature_layout_row_extent():
+    layout = FeatureTableLayout(num_nodes=10, feature_dim=256)
+    off, nbytes = layout.row_extent(3)
+    assert nbytes == 1024
+    assert off == 3 * 1024
+    with pytest.raises(StorageError):
+        layout.row_extent(10)
+
+
+def test_feature_layout_row_blocks():
+    layout = FeatureTableLayout(num_nodes=16, feature_dim=256)  # 1 KiB rows
+    first, counts = layout.row_blocks(np.array([0, 4, 5]))
+    assert first.tolist() == [0, 1, 1]
+    assert counts.tolist() == [1, 1, 1]
+
+
+def test_feature_layout_row_crossing_blocks():
+    layout = FeatureTableLayout(num_nodes=4, feature_dim=1536)  # 6 KiB rows
+    first, counts = layout.row_blocks(np.array([0, 1, 2]))
+    # rows at bytes [0,6K), [6K,12K), [12K,18K) -> LBAs {0,1}, {1,2}, {3,4}
+    assert first.tolist() == [0, 1, 3]
+    assert counts.tolist() == [2, 2, 2]
+
+
+def test_feature_layout_validation():
+    with pytest.raises(StorageError):
+        FeatureTableLayout(num_nodes=-1, feature_dim=4)
+    with pytest.raises(StorageError):
+        FeatureTableLayout(num_nodes=4, feature_dim=4, base_byte=3)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2000), min_size=1, max_size=30),
+    st.sampled_from([4, 8]),
+)
+@settings(max_examples=50, deadline=None)
+def test_blocks_cover_extents(degrees, id_bytes):
+    """Property: each node's [first, first+count) LBAs cover its extent."""
+    g = graph_with_degrees(degrees)
+    layout = EdgeListLayout(g, id_bytes=id_bytes)
+    nodes = np.arange(g.num_nodes)
+    first, counts = layout.node_blocks(nodes)
+    for i in range(g.num_nodes):
+        off, nbytes = layout.node_extent(i)
+        if nbytes == 0:
+            assert counts[i] == 0
+            continue
+        assert first[i] * 4096 <= off
+        assert (first[i] + counts[i]) * 4096 >= off + nbytes
+        # count is minimal: removing last block would not cover the end
+        assert (first[i] + counts[i] - 1) * 4096 < off + nbytes

@@ -1,0 +1,262 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator, all_of
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(1.5)
+        fired.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert fired == [1.5]
+    assert sim.now == 1.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+    times = []
+
+    def proc(sim):
+        for delay in (1.0, 2.0, 3.0):
+            yield sim.timeout(delay)
+            times.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert times == [1.0, 3.0, 6.0]
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    order = []
+
+    def fast(sim):
+        yield sim.timeout(1.0)
+        order.append(("fast", sim.now))
+
+    def slow(sim):
+        yield sim.timeout(2.0)
+        order.append(("slow", sim.now))
+
+    sim.process(slow(sim))
+    sim.process(fast(sim))
+    sim.run()
+    assert order == [("fast", 1.0), ("slow", 2.0)]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    p = sim.process(proc(sim))
+    assert sim.run_until_complete(p) == 42
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        return "child-result"
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        return (value, sim.now)
+
+    p = sim.process(parent(sim))
+    assert sim.run_until_complete(p) == ("child-result", 3.0)
+
+
+def test_manual_event_wakes_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    woke = []
+
+    def waiter(sim):
+        value = yield ev
+        woke.append((value, sim.now))
+
+    def trigger(sim):
+        yield sim.timeout(5.0)
+        ev.succeed("ping")
+
+    sim.process(waiter(sim))
+    sim.process(trigger(sim))
+    sim.run()
+    assert woke == [("ping", 5.0)]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_failure_propagates_into_process():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim))
+    ev.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_process_exception_fails_its_event():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("inside")
+
+    p = sim.process(bad(sim))
+    with pytest.raises(RuntimeError, match="inside"):
+        sim.run_until_complete(p)
+
+
+def test_all_of_barrier():
+    sim = Simulator()
+
+    def worker(sim, delay, tag):
+        yield sim.timeout(delay)
+        return tag
+
+    def parent(sim):
+        procs = [
+            sim.process(worker(sim, d, i)) for i, d in enumerate((3, 1, 2))
+        ]
+        values = yield all_of(sim, procs)
+        return (values, sim.now)
+
+    p = sim.process(parent(sim))
+    values, finished = sim.run_until_complete(p)
+    assert values == [0, 1, 2]
+    assert finished == 3.0
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def parent(sim):
+        values = yield all_of(sim, [])
+        return values
+
+    p = sim.process(parent(sim))
+    assert sim.run_until_complete(p) == []
+
+
+def test_run_until_time_bound():
+    sim = Simulator()
+    seen = []
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(1.0)
+            seen.append(sim.now)
+
+    sim.process(ticker(sim))
+    sim.run(until=3.5)
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_yield_none_continues_same_time():
+    sim = Simulator()
+    times = []
+
+    def proc(sim):
+        times.append(sim.now)
+        yield None
+        times.append(sim.now)
+        yield sim.timeout(1.0)
+        times.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert times == [0.0, 0.0, 1.0]
+
+
+def test_yield_garbage_raises():
+    sim = Simulator()
+
+    def proc(sim):
+        yield "not-an-event"
+
+    p = sim.process(proc(sim))
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run_until_complete(p)
+
+
+def test_schedule_callback():
+    sim = Simulator()
+    hits = []
+    sim.schedule(2.0, lambda: hits.append(sim.now))
+    sim.run()
+    assert hits == [2.0]
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+
+    def stuck(sim):
+        yield sim.event()   # never triggered
+
+    p = sim.process(stuck(sim))
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(p)
+
+
+def test_event_ordering_fifo_at_same_time():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_processed_events_counter_increases():
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(5):
+            yield sim.timeout(0.1)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert sim.processed_events >= 5

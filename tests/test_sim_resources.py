@@ -1,0 +1,224 @@
+"""Unit tests for Resource, Store, and BandwidthLink."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import BandwidthLink, Resource, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = []
+
+    def proc(sim, tag):
+        yield res.acquire()
+        grants.append((tag, sim.now))
+        yield sim.timeout(1.0)
+        res.release()
+
+    for tag in range(3):
+        sim.process(proc(sim, tag))
+    sim.run()
+    # first two at t=0, third waits for a release at t=1
+    assert grants == [(0, 0.0), (1, 0.0), (2, 1.0)]
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def proc(sim, tag):
+        yield res.acquire()
+        order.append(tag)
+        yield sim.timeout(1.0)
+        res.release()
+
+    for tag in range(4):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_resource_release_without_acquire_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_utilization_full_busy():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def proc(sim):
+        yield res.acquire()
+        yield sim.timeout(10.0)
+        res.release()
+
+    sim.process(proc(sim))
+    sim.run()
+    assert res.utilization(10.0) == pytest.approx(1.0)
+
+
+def test_resource_utilization_half_busy():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+
+    def proc(sim):
+        yield res.acquire()
+        yield sim.timeout(10.0)
+        res.release()
+
+    sim.process(proc(sim))
+    sim.run()
+    assert res.utilization(10.0) == pytest.approx(0.5)
+
+
+def test_resource_mean_wait():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def proc(sim):
+        yield res.acquire()
+        yield sim.timeout(2.0)
+        res.release()
+
+    sim.process(proc(sim))
+    sim.process(proc(sim))
+    sim.run()
+    # second waiter waited 2s, first waited 0 -> mean 1s
+    assert res.mean_wait_s == pytest.approx(1.0)
+
+
+def test_store_put_get_order():
+    sim = Simulator()
+    store = Store(sim, capacity=10)
+    got = []
+
+    def producer(sim):
+        for i in range(3):
+            yield store.put(i)
+            yield sim.timeout(1.0)
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, sim.now))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert [item for item, _ in got] == [0, 1, 2]
+
+
+def test_store_bounded_blocks_producer():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    puts = []
+
+    def producer(sim):
+        for i in range(3):
+            yield store.put(i)
+            puts.append((i, sim.now))
+
+    def consumer(sim):
+        while True:
+            yield sim.timeout(5.0)
+            yield store.get()
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run(until=20.0)
+    # put 0 at t=0; put 1 blocked until first get at t=5; put 2 until t=10
+    assert puts == [(0, 0.0), (1, 5.0), (2, 10.0)]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer(sim):
+        yield sim.timeout(7.0)
+        yield store.put("x")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == [("x", 7.0)]
+
+
+def test_store_handoff_counts():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+
+    def producer(sim):
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer(sim):
+        for _ in range(5):
+            yield store.get()
+            yield sim.timeout(1.0)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert store.total_put == 5
+    assert store.total_got == 5
+    assert len(store) == 0
+
+
+def test_bandwidth_link_transfer_time():
+    sim = Simulator()
+    link = BandwidthLink(sim, bandwidth=1e9, latency_s=1e-6)
+    assert link.transfer_time(1000) == pytest.approx(1e-6 + 1e-6)
+
+
+def test_bandwidth_link_serializes():
+    sim = Simulator()
+    link = BandwidthLink(sim, bandwidth=100.0)  # 100 B/s
+    done = []
+
+    def sender(sim, tag):
+        yield from link.transfer(100)  # 1 second each
+        done.append((tag, sim.now))
+
+    sim.process(sender(sim, "a"))
+    sim.process(sender(sim, "b"))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 2.0)]
+    assert link.bytes_moved == 200
+
+
+def test_bandwidth_link_lanes_allow_overlap():
+    sim = Simulator()
+    link = BandwidthLink(sim, bandwidth=100.0, lanes=2)
+    done = []
+
+    def sender(sim, tag):
+        yield from link.transfer(100)
+        done.append((tag, sim.now))
+
+    sim.process(sender(sim, "a"))
+    sim.process(sender(sim, "b"))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 1.0)]
+
+
+def test_bandwidth_link_rejects_bad_config():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        BandwidthLink(sim, bandwidth=0.0)

@@ -1,0 +1,165 @@
+"""Tests for the assembled SSD device model (analytic + event modes)."""
+
+import numpy as np
+import pytest
+
+from repro.config import HardwareParams
+from repro.errors import StorageError
+from repro.sim import Simulator
+from repro.storage import SSDevice
+
+
+@pytest.fixture
+def ssd():
+    return SSDevice(HardwareParams())
+
+
+def test_host_read_latency_reasonable_magnitude(ssd):
+    """A 4 KiB QD1 random read should land in the tens-of-us range."""
+    t = ssd.host_read_latency(4096)
+    assert 30e-6 < t < 200e-6
+
+
+def test_host_read_latency_monotone_in_size(ssd):
+    assert ssd.host_read_latency(4096) < ssd.host_read_latency(64 * 1024)
+
+
+def test_host_read_buffered_much_faster(ssd):
+    miss = ssd.host_read_latency(4096)
+    hit = ssd.host_read_latency(4096, buffered=True)
+    assert hit < miss / 2
+
+
+def test_host_read_rejects_bad_size(ssd):
+    with pytest.raises(StorageError):
+        ssd.host_read_latency(0)
+
+
+def test_host_read_counters(ssd):
+    ssd.host_read_latency(4096)
+    ssd.host_read_latency(8192)
+    assert ssd.host_reads == 2
+    assert ssd.host_bytes_out == 4096 + 8192
+
+
+def test_batch_latency_matches_scalar(ssd):
+    sizes = np.array([4096, 8192, 40000])
+    batch = ssd.host_read_latency_batch(sizes)
+    fresh = SSDevice(HardwareParams())
+    scalars = [fresh.host_read_latency(int(s)) for s in sizes]
+    assert np.allclose(batch, scalars, rtol=0.02)
+
+
+def test_single_read_cheaper_than_per_page_mmap_style(ssd):
+    """One 3-block extent read must beat three 1-block reads -- this is
+    the structural advantage of direct I/O over per-page faulting."""
+    one_extent = ssd.host_read_latency(3 * 4096)
+    three_pages = 3 * ssd.host_read_latency(4096)
+    assert one_extent < 0.6 * three_pages
+
+
+def test_isp_flash_time_uses_parallelism(ssd):
+    serial = ssd.isp_flash_time(64, parallelism=1)
+    parallel = ssd.isp_flash_time(64)
+    assert parallel < serial / 8
+
+
+def test_isp_compute_time_positive(ssd):
+    t = ssd.isp_compute_time(n_targets=100, n_samples=1000, n_pages=100)
+    assert t > 0
+    assert ssd.cores.core_seconds_isp > 0
+
+
+def test_isp_return_dma_small_vs_host_block_reads(ssd):
+    """Returning a dense 80 KiB subgraph must be far cheaper than the
+    block reads it replaces (the 20x data-movement claim's mechanism)."""
+    dma = ssd.isp_return_dma_time(80 * 1024)
+    blocks = 100 * ssd.host_read_latency(4096)
+    assert dma < blocks / 20
+
+
+# -- event mode ----------------------------------------------------------
+
+
+def test_event_host_reads_match_analytic_when_uncontended():
+    hw = HardwareParams()
+    analytic_ssd = SSDevice(hw)
+    per_req = analytic_ssd.host_read_latency(4096, include_nvme=False)
+
+    ssd = SSDevice(hw)
+    sim = Simulator()
+    state = ssd.attach(sim)
+
+    def worker(sim):
+        yield from state.host_read_sequence(16, 4096)
+
+    proc = sim.process(worker(sim))
+    sim.run_until_complete(proc)
+    assert sim.now == pytest.approx(16 * per_req, rel=0.05)
+
+
+def test_event_two_workers_contend_less_than_2x():
+    """Two QD1 workers share the device: each sees nearly private latency
+    because capacity greatly exceeds two requests in flight."""
+    hw = HardwareParams()
+    ssd = SSDevice(hw)
+    sim = Simulator()
+    state = ssd.attach(sim)
+
+    def worker(sim):
+        yield from state.host_read_sequence(16, 4096)
+
+    procs = [sim.process(worker(sim)) for _ in range(2)]
+    for p in procs:
+        sim.run_until_complete(p)
+    single = SSDevice(hw)
+    per_req = single.host_read_latency(4096, include_nvme=False)
+    assert sim.now < 2 * 16 * per_req  # real overlap happened
+
+
+def test_event_isp_flash_read_completes_and_counts():
+    hw = HardwareParams()
+    ssd = SSDevice(hw)
+    sim = Simulator()
+    state = ssd.attach(sim)
+
+    def isp(sim):
+        yield from state.isp_flash_read(64)
+
+    proc = sim.process(isp(sim))
+    sim.run_until_complete(proc)
+    assert state.flash_pages_read == 64
+    # near-ideal parallelism when device is idle
+    ideal = ssd.nand.batch_read_time(64)
+    assert sim.now == pytest.approx(ideal, rel=0.5)
+
+
+def test_event_isp_compute_spreads_over_cores():
+    hw = HardwareParams()
+    ssd = SSDevice(hw)
+    sim = Simulator()
+    state = ssd.attach(sim)
+
+    def isp(sim):
+        yield from state.isp_compute(1e-3)
+
+    proc = sim.process(isp(sim))
+    sim.run_until_complete(proc)
+    # single process can only use one core at a time
+    assert sim.now == pytest.approx(1e-3, rel=0.01)
+
+
+def test_event_return_dma():
+    hw = HardwareParams()
+    ssd = SSDevice(hw)
+    sim = Simulator()
+    state = ssd.attach(sim)
+
+    def isp(sim):
+        yield from state.isp_return_dma(1 << 20)
+
+    proc = sim.process(isp(sim))
+    sim.run_until_complete(proc)
+    expected = ssd.nvme.dma_setup_s() + ssd.fabric.host_transfer_time(1 << 20)
+    assert sim.now == pytest.approx(expected, rel=0.01)
+    assert state.host_bytes_out == 1 << 20
