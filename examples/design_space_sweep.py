@@ -1,23 +1,16 @@
 """Design-space sweep: the paper's evaluation story on one dataset.
 
 Walks the full SmartSAGE argument on Movielens (the paper's toughest
-dataset): (1) single-worker sampling latency per design, (2) 12-worker
-sampling throughput with real device contention, (3) end-to-end training
-time and GPU idle fraction -- condensing Figs 14, 16, 17, and 18.
+dataset) through one ``Session``: (1) single-worker sampling latency per
+design, (2) 12-worker sampling throughput with real device contention,
+(3) end-to-end training time and GPU idle fraction -- condensing
+Figs 14, 16, 17, and 18.  Every measurement shares one dataset and one
+workload pool, so the comparison is apples-to-apples by construction.
 
 Run:  python examples/design_space_sweep.py
 """
 
-from repro.core.systems import build_gpu_model
-from repro.experiments.common import (
-    ExperimentConfig,
-    build_eval_system,
-    make_workloads,
-    sampling_throughput,
-    scaled_instance,
-    steady_state_cost,
-)
-from repro.pipeline import run_pipeline
+from repro import RunSpec, Session, SystemSpec
 
 DESIGNS = (
     "ssd-mmap", "smartsage-sw", "smartsage-hwsw",
@@ -26,54 +19,51 @@ DESIGNS = (
 
 
 def main() -> None:
-    cfg = ExperimentConfig(edge_budget=1e6, batch_size=96, n_workloads=8)
-    dataset = scaled_instance("movielens", cfg)
-    workloads = make_workloads(dataset, cfg)
-    gpu = build_gpu_model(dataset, cfg.hw)
-    print(f"dataset: {dataset} (paper avg degree 2667)\n")
+    spec = RunSpec(
+        dataset="movielens",
+        edge_budget=1e6,
+        batch_size=96,
+        n_workloads=8,
+        mode="event",
+        n_batches=30,
+        n_workers=12,
+        system=SystemSpec(design="ssd-mmap"),
+    )
+    session = Session.from_spec(spec)
+    print(f"dataset: {session.dataset} (paper avg degree 2667)\n")
 
     print("1) single-worker sampling latency (Fig 14)")
-    base = None
+    costs = session.sampling_costs(DESIGNS)
+    base = costs["ssd-mmap"].total_s
     for design in DESIGNS:
-        system = build_eval_system(design, dataset, cfg)
-        cost = steady_state_cost(system.sampling_engine, workloads)
-        if design == "ssd-mmap":
-            base = cost.total_s
-        note = (f"  ({base / cost.total_s:5.2f}x vs mmap)"
-                if base is not None else "")
-        print(f"   {design:18s} {cost.total_s * 1e3:9.2f} ms{note}")
+        total = costs[design].total_s
+        print(f"   {design:18s} {total * 1e3:9.2f} ms"
+              f"  ({base / total:5.2f}x vs mmap)")
 
     print("\n2) 12-worker sampling throughput (Fig 16/17)")
-    tputs = {}
-    for design in ("ssd-mmap", "smartsage-sw", "smartsage-hwsw"):
-        tputs[design] = sampling_throughput(
-            design, dataset, workloads, cfg, n_workers=12, n_batches=36
+    tputs = {
+        design: session.sampling_throughput(
+            design, n_workers=12, n_batches=36
         )
-        print(f"   {design:18s} {tputs[design]:8.1f} batches/s "
-              f"({tputs[design] / tputs['ssd-mmap']:5.2f}x vs mmap)")
+        for design in ("ssd-mmap", "smartsage-sw", "smartsage-hwsw")
+    }
+    for design, tput in tputs.items():
+        print(f"   {design:18s} {tput:8.1f} batches/s "
+              f"({tput / tputs['ssd-mmap']:5.2f}x vs mmap)")
     print("   (the HW/SW edge shrinks vs single worker: the wimpy "
           "embedded cores saturate)")
 
     print("\n3) end-to-end training, 12 workers (Fig 18)")
-    results = {}
+    cmp = session.compare(list(DESIGNS), baseline="ssd-mmap")
+    dram = cmp.results["dram"].elapsed_s
     for design in DESIGNS:
-        system = build_eval_system(design, dataset, cfg)
-        for w in workloads[:2]:
-            system.sampling_engine.batch_cost(w)
-        results[design] = run_pipeline(
-            system, gpu, workloads[2:], n_batches=30, n_workers=12,
-            mode="event",
-        )
-    dram = results["dram"].elapsed_s
-    for design in DESIGNS:
-        r = results[design]
+        r = cmp.results[design]
         print(f"   {design:18s} {r.elapsed_s * 1e3:9.1f} ms "
               f"({r.elapsed_s / dram:5.2f}x vs DRAM, GPU idle "
               f"{r.gpu_idle_fraction:4.0%})")
-    mmap = results["ssd-mmap"].elapsed_s
-    hwsw = results["smartsage-hwsw"].elapsed_s
     print(f"\n=> SmartSAGE(HW/SW) end-to-end speedup vs the mmap "
-          f"baseline: {mmap / hwsw:.2f}x (paper: 3.5x avg, 5.0x max)")
+          f"baseline: {cmp.speedup('smartsage-hwsw'):.2f}x "
+          f"(paper: 3.5x avg, 5.0x max)")
 
 
 if __name__ == "__main__":

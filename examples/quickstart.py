@@ -1,45 +1,41 @@
 """Quickstart: cost one mini-batch of neighbor sampling on every design.
 
-Builds a scaled-down large-scale Reddit (Table I proportions), samples one
-GraphSAGE mini-batch, and prices it on each of the paper's design points
--- the 60-second version of Fig 14.
+Declares the whole experiment as a ``RunSpec``, lets the ``Session``
+façade materialize a scaled-down large-scale Reddit (Table I
+proportions) and a mini-batch pool, then prices sampling on each
+registered design point -- the 60-second version of Fig 14.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
+from repro import RunSpec, Session, SystemSpec, available_designs
 
-from repro import DESIGNS, SamplingWorkload, build_system, load_dataset
-from repro.gnn import NeighborSampler
 
 def main() -> None:
     # A large-scale Reddit instance at laptop scale: node count shrinks,
     # the paper's ~1445 average degree (and hence chunk sizes) survives.
-    dataset = load_dataset("reddit", variant="large-scale", scale=5e-5)
+    spec = RunSpec(
+        dataset="reddit",
+        edge_budget=2.5e6,
+        batch_size=128,
+        n_workloads=4,
+        system=SystemSpec(design="ssd-mmap", fanouts=(25, 10)),
+    )
+    session = Session.from_spec(spec)
+    dataset = session.dataset
     print(f"dataset: {dataset}")
     print(f"edge-list array: {dataset.edge_list_bytes() / 2**20:.1f} MiB "
           f"(paper: 402 GB)\n")
 
-    # Sample one mini-batch with the paper's default fanouts (25, 10).
-    sampler = NeighborSampler(dataset.graph, fanouts=(25, 10))
-    rng = np.random.default_rng(0)
-    seeds = rng.integers(0, dataset.num_nodes, size=128)
-    batch = sampler.sample_batch(seeds, rng)
-    workload = SamplingWorkload.from_minibatch(batch)
-    print(f"mini-batch: {batch.summary()}\n")
-
-    # Price the same workload on every design point.
+    # Price the same workload pool on every registered design point.
+    designs = available_designs()
+    costs = session.sampling_costs(designs)
+    mmap = costs["ssd-mmap"].total_s
     print(f"{'design':18s} {'sampling/batch':>15s} {'vs mmap':>9s}")
-    costs = {}
-    for design in DESIGNS:
-        system = build_system(design, dataset)
-        system.sampling_engine.batch_cost(workload)   # warm caches
-        costs[design] = system.sampling_engine.batch_cost(workload).total_s
-    mmap = costs["ssd-mmap"]
-    for design in DESIGNS:
-        ratio = mmap / costs[design]
-        print(f"{design:18s} {costs[design] * 1e3:12.2f} ms "
-              f"{ratio:8.2f}x")
+    for design in designs:
+        total = costs[design].total_s
+        print(f"{design:18s} {total * 1e3:12.2f} ms "
+              f"{mmap / total:8.2f}x")
     print("\npaper Fig 14: SmartSAGE(SW) ~1.5x, SmartSAGE(HW/SW) ~10.1x "
           "over the mmap baseline (single worker)")
 

@@ -6,23 +6,48 @@ numpy GraphSAGE, the producer-consumer training pipeline, and the
 SmartSAGE in-storage-processing co-design -- plus experiment harnesses
 regenerating every figure and table of the paper's evaluation.
 
-Quickstart::
+Quickstart -- the declarative ``Session`` API::
 
-    from repro import load_dataset, build_system, SamplingWorkload
-    from repro.gnn import NeighborSampler
-    import numpy as np
+    from repro import RunSpec, Session, SystemSpec
 
-    ds = load_dataset("reddit", variant="large-scale", scale=1e-5)
-    sampler = NeighborSampler(ds.graph, fanouts=(25, 10))
-    batch = sampler.sample_batch(np.arange(64), np.random.default_rng(0))
-    workload = SamplingWorkload.from_minibatch(batch)
+    spec = RunSpec(
+        dataset="reddit", edge_budget=2e5, batch_size=32,
+        n_batches=12, n_workers=4,
+        system=SystemSpec(design="smartsage-hwsw"),
+    )
+    session = Session.from_spec(spec)
+    result = session.run()            # end-to-end PipelineResult
+    print(result.throughput_batches_per_s, result.gpu_idle_fraction)
 
-    mmap = build_system("ssd-mmap", ds)
-    isp = build_system("smartsage-hwsw", ds)
-    speedup = (mmap.sampling_engine.batch_cost(workload).total_s
-               / isp.sampling_engine.batch_cost(workload).total_s)
+    # Same dataset + workloads, every paper design point:
+    cmp = session.compare(["ssd-mmap", "smartsage-sw", "smartsage-hwsw"])
+    print(cmp.table())                # Fig 18-style speedup table
+
+Specs serialize to JSON (``spec.to_json(path)`` /
+``RunSpec.from_json(path)``; CLI: ``python -m repro run-spec spec.json``),
+and new design points plug in without touching core::
+
+    from repro import register_design
+
+    @register_design("my-csd", ssd_backed=True)
+    def build_my_csd(ctx):            # ctx: repro.core.systems.DesignContext
+        ssd = ctx.make_ssd()
+        return ctx.make_system(ssd=ssd, sampling_engine=...,
+                               feature_engine=ctx.dram_feature_engine())
+
+The lower-level surface (``build_system``, ``run_pipeline``,
+``NeighborSampler``...) remains available for piecewise use; see
+``examples/`` for both styles.
 """
 
+from repro.api import (
+    RunSpec,
+    Session,
+    SystemSpec,
+    available_designs,
+    register_design,
+    unregister_design,
+)
 from repro.config import HardwareParams, default_hardware, scaled_hardware
 from repro.core import (
     DESIGNS,
@@ -42,7 +67,7 @@ from repro.errors import (
 from repro.graph import CSRGraph, GraphDataset, load_dataset
 from repro.pipeline import PipelineResult, run_pipeline
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -60,6 +85,12 @@ __all__ = [
     "SamplingWorkload",
     "run_pipeline",
     "PipelineResult",
+    "Session",
+    "RunSpec",
+    "SystemSpec",
+    "register_design",
+    "unregister_design",
+    "available_designs",
     "ReproError",
     "SimulationError",
     "GraphError",

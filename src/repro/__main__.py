@@ -3,8 +3,11 @@
 Usage::
 
     python -m repro list                      # available experiments
+    python -m repro designs                   # registered design points
     python -m repro run fig14                 # one experiment
     python -m repro run all [--quick]         # everything
+    python -m repro run-spec spec.json        # one declarative run
+    python -m repro run-spec spec.json --compare dram,ssd-mmap
     python -m repro calibrate                 # headline ratios
 """
 
@@ -24,14 +27,61 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    sub.add_parser("designs", help="list registered design points")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment name or 'all'")
     run.add_argument(
         "--quick", action="store_true",
         help="reduced scale (faster, compressed ratios)",
     )
+    run_spec = sub.add_parser(
+        "run-spec", help="run a declarative JSON RunSpec end-to-end"
+    )
+    run_spec.add_argument("spec", help="path to a RunSpec JSON file")
+    run_spec.add_argument(
+        "--compare", metavar="DESIGNS",
+        help="comma-separated designs to compare on the spec's workload "
+             "(first is the speedup baseline)",
+    )
     sub.add_parser("calibrate", help="print headline ratios vs paper")
     return parser
+
+
+def _cmd_designs() -> int:
+    from repro.api import available_designs, design_entry
+
+    for name in available_designs():
+        entry = design_entry(name)
+        backing = "ssd " if entry.ssd_backed else "mem "
+        print(f"{name:18s} [{backing}] {entry.description}")
+    return 0
+
+
+def _cmd_run_spec(path: str, compare: str = None) -> int:
+    from repro.api import Session
+    from repro.errors import ReproError
+
+    try:
+        session = Session.from_json(path)
+        if compare:
+            designs = [d.strip() for d in compare.split(",") if d.strip()]
+            print(session.compare(designs).table())
+        else:
+            result = session.run()
+            print(f"design:      {result.design}")
+            print(f"mode:        {result.mode}")
+            print(f"batches:     {result.n_batches} "
+                  f"x {result.n_workers} workers")
+            print(f"elapsed:     {result.elapsed_s * 1e3:.2f} ms")
+            print(f"throughput:  {result.throughput_batches_per_s:.1f} "
+                  f"batches/s")
+            print(f"gpu idle:    {result.gpu_idle_fraction:.0%}")
+            for phase, mean in result.phase_means.items():
+                print(f"  {phase:20s} {mean * 1e3:9.3f} ms/batch")
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -41,6 +91,10 @@ def main(argv=None) -> int:
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:18s} {doc}")
         return 0
+    if args.command == "designs":
+        return _cmd_designs()
+    if args.command == "run-spec":
+        return _cmd_run_spec(args.spec, args.compare)
     if args.command == "calibrate":
         from repro.experiments import calibration
 
@@ -50,8 +104,7 @@ def main(argv=None) -> int:
     if args.experiment == "all":
         from repro.experiments import run_all
 
-        run_all.main(["--quick"] if args.quick else [])
-        return 0
+        return run_all.main(["--quick"] if args.quick else [])
     if args.experiment not in ALL_EXPERIMENTS:
         print(
             f"unknown experiment {args.experiment!r}; try: "

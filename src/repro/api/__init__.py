@@ -1,0 +1,64 @@
+"""Declarative session API: specs, design registry, and the Session façade.
+
+The three pieces:
+
+* :mod:`repro.api.registry` -- ``@register_design`` / ``available_designs``:
+  the pluggable design-point registry that ``build_system`` dispatches
+  through.  Third-party designs register without touching core.
+* :mod:`repro.api.spec` -- ``SystemSpec`` / ``RunSpec``: serializable,
+  validated descriptions of what to build and run (JSON round-trip).
+* :mod:`repro.api.session` -- ``Session``: dataset -> system -> GPU ->
+  pipeline in one call, plus ``compare``/``sweep`` helpers.
+
+``Session`` (and friends) are imported lazily so that
+``repro.core.systems`` can import the registry at module load without a
+circular import.
+"""
+
+from repro.api.registry import (
+    DesignEntry,
+    available_designs,
+    design_entry,
+    is_ssd_backed,
+    register_design,
+    unregister_design,
+)
+from repro.api.spec import RunSpec, SystemSpec
+
+__all__ = [
+    "DesignEntry",
+    "register_design",
+    "unregister_design",
+    "available_designs",
+    "design_entry",
+    "is_ssd_backed",
+    "SystemSpec",
+    "RunSpec",
+    "Session",
+    "DesignComparison",
+    "scaled_dataset",
+    "generate_workloads",
+    "steady_state_cost",
+    "sampling_throughput",
+]
+
+_SESSION_NAMES = (
+    "Session",
+    "DesignComparison",
+    "scaled_dataset",
+    "generate_workloads",
+    "steady_state_cost",
+    "sampling_throughput",
+)
+
+
+def __getattr__(name):
+    if name in _SESSION_NAMES:
+        from repro.api import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,423 @@
+"""The ``Session`` façade: dataset -> system -> GPU -> pipeline in one call.
+
+A :class:`Session` materializes everything a :class:`~repro.api.spec.RunSpec`
+declares -- the scaled dataset, the mini-batch workload pool, the GPU
+model, and any number of design-point systems -- and exposes the
+measurements the paper's figures are built from::
+
+    spec = RunSpec(dataset="movielens",
+                   system=SystemSpec(design="smartsage-hwsw"))
+    session = Session.from_spec(spec)
+    result = session.run()                       # PipelineResult
+    costs = session.sampling_costs(["ssd-mmap", "smartsage-hwsw"])
+    cmp = session.compare(["ssd-mmap", "smartsage-hwsw", "dram"])
+    print(cmp.table())
+
+Datasets and workload pools are built lazily and shared across every
+design built from the same session, so comparisons are apples-to-apples
+by construction.  The module-level helpers (:func:`scaled_dataset`,
+:func:`generate_workloads`, :func:`steady_state_cost`,
+:func:`sampling_throughput`) are the canonical implementations that
+``repro.experiments.common`` delegates to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.api.spec import RunSpec, SystemSpec
+from repro.config import HardwareParams
+from repro.core.accounting import BatchCost, SamplingWorkload
+from repro.core.systems import TrainingSystem, build_gpu_model, build_system
+from repro.errors import ConfigError
+from repro.graph.datasets import DATASETS, LARGE_SCALE, GraphDataset
+from repro.pipeline.gpu import GPUModel
+from repro.pipeline.runner import PipelineResult, run_pipeline
+
+__all__ = [
+    "Session",
+    "DesignComparison",
+    "scaled_dataset",
+    "generate_workloads",
+    "steady_state_cost",
+    "sampling_throughput",
+]
+
+
+def scaled_dataset(
+    name: str,
+    edge_budget: float,
+    variant: str = LARGE_SCALE,
+    seed: int = 0,
+) -> GraphDataset:
+    """Materialize ``name`` at ``edge_budget`` edges, true avg degree."""
+    if name not in DATASETS:
+        raise ConfigError(f"unknown dataset {name!r}")
+    spec = DATASETS[name]
+    avg_degree = spec.avg_degree(variant)
+    paper_nodes = spec.paper_stats(variant)["nodes"]
+    scale = (edge_budget / avg_degree) / paper_nodes
+    return spec.instantiate(variant=variant, scale=scale, seed=seed)
+
+
+def generate_workloads(
+    dataset: GraphDataset,
+    batch_size: int,
+    n_workloads: int,
+    fanouts: Sequence[int],
+    seed: int = 0,
+    sampler: str = "sage",
+) -> List[SamplingWorkload]:
+    """Sample ``n_workloads`` distinct mini-batches from ``dataset``."""
+    from repro.gnn.saint import SaintRandomWalkSampler
+    from repro.gnn.sampler import NeighborSampler
+
+    rng = np.random.default_rng(seed + 1)
+    if sampler == "sage":
+        impl = NeighborSampler(dataset.graph, fanouts=tuple(fanouts))
+    elif sampler == "saint":
+        impl = SaintRandomWalkSampler(
+            dataset.graph,
+            num_roots=batch_size,
+            walk_length=2 * len(fanouts),
+        )
+    else:
+        raise ConfigError(f"unknown sampler kind {sampler!r}")
+    workloads = []
+    for _ in range(n_workloads):
+        seeds = rng.integers(0, dataset.num_nodes, size=batch_size)
+        batch = impl.sample_batch(seeds, rng)
+        workloads.append(SamplingWorkload.from_minibatch(batch))
+    return workloads
+
+
+def steady_state_cost(
+    engine,
+    workloads: Sequence[SamplingWorkload],
+    warmup: int = 2,
+) -> BatchCost:
+    """Mean per-batch cost after cache warm-up, over distinct batches."""
+    if not workloads:
+        raise ConfigError("need at least one workload")
+    warmup = min(warmup, max(0, len(workloads) - 1))
+    for w in workloads[:warmup]:
+        engine.batch_cost(w)
+    measured = workloads[warmup:]
+    total = BatchCost(design=getattr(engine, "design", None))
+    for w in measured:
+        total.merge(engine.batch_cost(w))
+    n = len(measured)
+    total.total_s /= n
+    total.components = {k: v / n for k, v in total.components.items()}
+    total.bytes_from_ssd //= n
+    total.requests //= n
+    return total
+
+
+def sampling_throughput(
+    system: TrainingSystem,
+    workloads: Sequence[SamplingWorkload],
+    n_workers: int,
+    n_batches: int,
+    warmup: int = 2,
+) -> float:
+    """Batches/second of ``n_workers`` concurrent producers, sampling
+    only (no feature lookup, no GPU) -- the Fig 14/16/17 measurement.
+
+    Runs in event mode so that workers genuinely contend for the SSD's
+    flash lanes, embedded cores, PCIe link, and the page-cache lock.
+    """
+    from repro.sim.engine import Simulator, all_of
+
+    warm = min(warmup, max(0, len(workloads) - 1))
+    for w in workloads[:warm]:
+        system.sampling_engine.batch_cost(w)
+    pool = workloads[warm:]
+    sim = Simulator()
+    runtime = system.attach(sim)
+    counter = {"next": 0}
+
+    def worker():
+        while True:
+            idx = counter["next"]
+            if idx >= n_batches:
+                return
+            counter["next"] += 1
+            yield from system.sampling_engine.batch_process(
+                runtime, pool[idx % len(pool)]
+            )
+
+    procs = [sim.process(worker()) for _ in range(n_workers)]
+    done = all_of(sim, procs)
+    while not done.triggered:
+        if not sim.step():
+            raise ConfigError("sampling throughput run deadlocked")
+    return n_batches / sim.now
+
+
+@dataclass
+class DesignComparison:
+    """Per-design pipeline results plus speedup arithmetic (Fig 18)."""
+
+    baseline: str
+    results: Dict[str, PipelineResult]
+
+    def speedup(self, design: str, baseline: Optional[str] = None) -> float:
+        """End-to-end speedup of ``design`` over ``baseline``."""
+        base = baseline or self.baseline
+        for name in (design, base):
+            if name not in self.results:
+                raise ConfigError(
+                    f"design {name!r} not in comparison "
+                    f"({tuple(self.results)})"
+                )
+        return (
+            self.results[base].elapsed_s / self.results[design].elapsed_s
+        )
+
+    def speedups(self, baseline: Optional[str] = None) -> Dict[str, float]:
+        return {
+            design: self.speedup(design, baseline)
+            for design in self.results
+        }
+
+    def table(self, baseline: Optional[str] = None) -> str:
+        """Text speedup table, one row per design."""
+        base = baseline or self.baseline
+        lines = [
+            f"{'design':18s} {'elapsed':>12s} {'speedup':>9s} "
+            f"{'gpu idle':>9s}"
+        ]
+        for design, r in self.results.items():
+            lines.append(
+                f"{design:18s} {r.elapsed_s * 1e3:9.2f} ms "
+                f"{self.speedup(design, base):8.2f}x "
+                f"{r.gpu_idle_fraction:8.0%}"
+            )
+        lines.append(f"(speedups vs {base})")
+        return "\n".join(lines)
+
+
+#: RunSpec fields that change the materialized dataset
+_DATASET_FIELDS = frozenset({"dataset", "variant", "edge_budget", "seed"})
+#: fields that change the sampled workload pool ("hardware" because an
+#: override may redefine workload.fanouts, which the pool samples with)
+_WORKLOAD_FIELDS = frozenset(
+    {"batch_size", "n_workloads", "sampler", "fanouts", "hardware"}
+)
+
+
+class Session:
+    """One declarative experiment: build and run systems from a spec.
+
+    Construction validates the spec but materializes nothing; the
+    dataset, workload pool, and GPU model are built on first use and
+    reused for every design the session touches.  ``dataset``,
+    ``workloads``, and ``hw`` can be injected to share already
+    materialized state (the experiment harness does this to run many
+    sessions against one dataset).
+    """
+
+    def __init__(
+        self,
+        spec: RunSpec,
+        dataset: Optional[GraphDataset] = None,
+        workloads: Optional[Sequence[SamplingWorkload]] = None,
+        hw: Optional[HardwareParams] = None,
+    ) -> None:
+        if isinstance(spec, dict):
+            spec = RunSpec.from_dict(spec)
+        if not isinstance(spec, RunSpec):
+            raise ConfigError(
+                f"spec must be a RunSpec or mapping, got {type(spec).__name__}"
+            )
+        self.spec = spec.validate()
+        self._dataset = dataset
+        self._workloads = list(workloads) if workloads is not None else None
+        self._hw = hw
+        self._gpu: Optional[GPUModel] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec, **kwargs) -> "Session":
+        """Build a session from a :class:`RunSpec` (or a plain dict)."""
+        return cls(spec, **kwargs)
+
+    @classmethod
+    def from_json(cls, path: str, **kwargs) -> "Session":
+        """Build a session from a JSON run-spec file."""
+        return cls(RunSpec.from_json(path), **kwargs)
+
+    # -- lazily materialized state ----------------------------------------
+
+    @property
+    def hw(self) -> HardwareParams:
+        if self._hw is None:
+            self._hw = self.spec.system.build_hardware()
+        return self._hw
+
+    @property
+    def fanouts(self) -> tuple:
+        return tuple(self.spec.system.fanouts or self.hw.workload.fanouts)
+
+    @property
+    def dataset(self) -> GraphDataset:
+        if self._dataset is None:
+            self._dataset = scaled_dataset(
+                self.spec.dataset,
+                self.spec.edge_budget,
+                variant=self.spec.variant,
+                seed=self.spec.seed,
+            )
+        return self._dataset
+
+    @property
+    def workloads(self) -> List[SamplingWorkload]:
+        if self._workloads is None:
+            self._workloads = generate_workloads(
+                self.dataset,
+                batch_size=self.spec.batch_size,
+                n_workloads=self.spec.n_workloads,
+                fanouts=self.fanouts,
+                seed=self.spec.seed,
+                sampler=self.spec.sampler,
+            )
+        return self._workloads
+
+    @property
+    def gpu(self) -> GPUModel:
+        if self._gpu is None:
+            self._gpu = build_gpu_model(self.dataset, self.hw)
+        return self._gpu
+
+    # -- building and running ---------------------------------------------
+
+    def build(self, design: Optional[str] = None) -> TrainingSystem:
+        """Wire the system for ``design`` (default: the spec's design)."""
+        sys_spec = self.spec.system
+        return build_system(
+            design or sys_spec.design,
+            self.dataset,
+            hw=self.hw,
+            fanouts=self.fanouts,
+            granularity=sys_spec.granularity,
+            host_cache_frac=sys_spec.host_cache_frac,
+            page_buffer_frac=sys_spec.page_buffer_frac,
+            features_in_dram=sys_spec.features_in_dram,
+        )
+
+    def run(self, design: Optional[str] = None) -> PipelineResult:
+        """Build ``design``, warm its caches, run the training pipeline."""
+        system = self.build(design)
+        warm = self.spec.warmup_batches
+        for w in self.workloads[:warm]:
+            system.sampling_engine.batch_cost(w)
+        return run_pipeline(
+            system,
+            self.gpu,
+            self.workloads[warm:],
+            n_batches=self.spec.n_batches,
+            n_workers=self.spec.n_workers,
+            mode=self.spec.mode,
+            queue_depth=self.spec.queue_depth,
+            checkpoint_every=self.spec.checkpoint_every,
+            checkpoint_bytes=self.spec.checkpoint_bytes,
+        )
+
+    def sampling_cost(self, design: Optional[str] = None) -> BatchCost:
+        """Steady-state single-worker sampling cost (Fig 14 metric)."""
+        system = self.build(design)
+        return steady_state_cost(
+            system.sampling_engine,
+            self.workloads,
+            warmup=self.spec.warmup_batches,
+        )
+
+    def sampling_costs(
+        self, designs: Sequence[str]
+    ) -> Dict[str, BatchCost]:
+        """Steady-state sampling cost per design, same workload pool."""
+        return {d: self.sampling_cost(d) for d in designs}
+
+    def sampling_throughput(
+        self,
+        design: Optional[str] = None,
+        n_workers: Optional[int] = None,
+        n_batches: Optional[int] = None,
+    ) -> float:
+        """Multi-worker sampling throughput (Fig 16/17 metric)."""
+        workers = n_workers or self.spec.n_workers
+        return sampling_throughput(
+            self.build(design),
+            self.workloads,
+            n_workers=workers,
+            n_batches=n_batches or max(8, 3 * workers),
+            warmup=self.spec.warmup_batches,
+        )
+
+    # -- comparisons and sweeps -------------------------------------------
+
+    def compare(
+        self,
+        designs: Sequence[str],
+        baseline: Optional[str] = None,
+    ) -> DesignComparison:
+        """Run the pipeline on each design over identical workloads."""
+        if not designs:
+            raise ConfigError("compare needs at least one design")
+        results = {d: self.run(d) for d in designs}
+        return DesignComparison(
+            baseline=baseline or designs[0], results=results
+        )
+
+    def sweep(self, axis: str, values: Sequence) -> Dict[object, PipelineResult]:
+        """Run the spec once per value of ``axis``.
+
+        ``axis`` is any :class:`RunSpec` field (``n_workers``,
+        ``batch_size``, ...), any :class:`SystemSpec` field
+        (``design``, ``host_cache_frac``, ...), or ``"design"``.
+        Materialized state is reused across points whenever the axis
+        cannot affect it.  Unhashable axis values (e.g. ``hardware``
+        override dicts) are keyed by their ``repr`` in the result.
+        """
+        run_fields = {
+            f.name for f in dataclasses.fields(RunSpec) if f.name != "system"
+        }
+        sys_fields = {f.name for f in dataclasses.fields(SystemSpec)}
+        results: Dict[object, PipelineResult] = {}
+        for value in values:
+            if axis in sys_fields:
+                spec = self.spec.replace(
+                    system=dataclasses.replace(
+                        self.spec.system, **{axis: value}
+                    )
+                )
+            elif axis in run_fields:
+                spec = self.spec.replace(**{axis: value})
+            else:
+                raise ConfigError(
+                    f"unknown sweep axis {axis!r}; one of "
+                    f"{sorted(run_fields | sys_fields)}"
+                )
+            share_dataset = axis not in _DATASET_FIELDS
+            share_workloads = (
+                share_dataset and axis not in _WORKLOAD_FIELDS
+            )
+            point = Session(
+                spec,
+                dataset=self.dataset if share_dataset else None,
+                workloads=self.workloads if share_workloads else None,
+                hw=self._hw if axis != "hardware" else None,
+            )
+            try:
+                key = value
+                hash(key)
+            except TypeError:
+                key = repr(value)
+            results[key] = point.run()
+        return results

@@ -1,0 +1,283 @@
+"""Serializable run/system specifications.
+
+A :class:`SystemSpec` declares *what system to build* (design point,
+sizing knobs, hardware overrides); a :class:`RunSpec` adds *what to run
+on it* (dataset, workload shape, pipeline mode).  Both round-trip
+through plain dicts / JSON::
+
+    spec = RunSpec(dataset="movielens",
+                   system=SystemSpec(design="smartsage-hwsw"))
+    blob = json.dumps(spec.to_dict())
+    again = RunSpec.from_dict(json.loads(blob))
+    assert again == spec
+
+Validation raises :class:`repro.errors.ConfigError` with the offending
+field and value, so a malformed JSON spec fails loudly before any
+simulation starts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import numbers
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.validation import check_fraction
+from repro.config import HardwareParams, default_hardware
+from repro.errors import ConfigError
+from repro.graph.datasets import DATASETS, LARGE_SCALE, _VARIANTS
+
+__all__ = ["SystemSpec", "RunSpec"]
+
+_SAMPLERS = ("sage", "saint")
+_MODES = ("event", "analytic")
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigError(message)
+
+
+def _check_positive_int(name: str, value: Any, minimum: int = 1) -> None:
+    ok = (
+        not isinstance(value, bool)
+        and isinstance(value, numbers.Integral)
+        and value >= minimum
+    )
+    _require(ok, f"{name} must be an int >= {minimum}, got {value!r}")
+
+
+def _from_dict(cls, data: Any) -> Any:
+    """Construct ``cls`` from ``data``, rejecting unknown keys."""
+    _require(
+        isinstance(data, dict),
+        f"{cls.__name__} spec must be a mapping, got {data!r}",
+    )
+    known = {f.name for f in dataclasses.fields(cls) if f.init}
+    unknown = set(data) - known
+    _require(
+        not unknown,
+        f"unknown {cls.__name__} field(s) {sorted(unknown)}; "
+        f"known: {sorted(known)}",
+    )
+    return cls(**data)
+
+
+@dataclass
+class SystemSpec:
+    """Declarative description of one design point to build.
+
+    ``hardware`` holds serializable overrides of
+    :class:`repro.config.HardwareParams`, keyed section -> field ->
+    value, e.g. ``{"ssd": {"firmware_io_s": 12e-6}}``.
+    """
+
+    design: str = "ssd-mmap"
+    fanouts: Optional[Tuple[int, ...]] = None
+    granularity: Optional[int] = None
+    host_cache_frac: float = 0.15
+    page_buffer_frac: float = 0.003
+    features_in_dram: bool = True
+    hardware: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.fanouts is not None:
+            self.fanouts = tuple(self.fanouts)
+        self.hardware = {
+            section: dict(fields)
+            for section, fields in dict(self.hardware).items()
+        }
+
+    def validate(self) -> "SystemSpec":
+        from repro.api.registry import design_entry
+
+        design_entry(self.design)  # raises ConfigError if unknown
+        if self.fanouts is not None:
+            _require(
+                len(self.fanouts) > 0
+                and all(
+                    isinstance(f, numbers.Integral)
+                    and not isinstance(f, bool)
+                    and f > 0
+                    for f in self.fanouts
+                ),
+                f"fanouts must be positive ints, got {self.fanouts!r}",
+            )
+        if self.granularity is not None:
+            _check_positive_int("granularity", self.granularity)
+        check_fraction("host_cache_frac", self.host_cache_frac)
+        check_fraction("page_buffer_frac", self.page_buffer_frac)
+        _require(
+            isinstance(self.features_in_dram, bool),
+            f"features_in_dram must be a bool, got {self.features_in_dram!r}",
+        )
+        self.build_hardware()  # validates section/field names
+        return self
+
+    # -- hardware overrides ------------------------------------------------
+
+    def build_hardware(
+        self, base: Optional[HardwareParams] = None
+    ) -> HardwareParams:
+        """Apply the spec's overrides to ``base`` (default hardware)."""
+        hw = base or default_hardware()
+        sections = {f.name for f in dataclasses.fields(hw)}
+        for section, overrides in self.hardware.items():
+            _require(
+                section in sections,
+                f"unknown hardware section {section!r}; "
+                f"one of {sorted(sections)}",
+            )
+            _require(
+                isinstance(overrides, dict),
+                f"hardware[{section!r}] must be a mapping, "
+                f"got {overrides!r}",
+            )
+            params = getattr(hw, section)
+            known = {f.name for f in dataclasses.fields(params)}
+            unknown = set(overrides) - known
+            _require(
+                not unknown,
+                f"unknown hardware field(s) {sorted(unknown)} in section "
+                f"{section!r}; known: {sorted(known)}",
+            )
+            fixed = {
+                k: tuple(v) if isinstance(v, list) else v
+                for k, v in overrides.items()
+            }
+            hw = hw.replace_in(section, **fixed)
+        return hw
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        if out["fanouts"] is not None:
+            out["fanouts"] = list(out["fanouts"])
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemSpec":
+        return _from_dict(cls, data)
+
+
+@dataclass
+class RunSpec:
+    """Declarative description of one end-to-end training run.
+
+    Bundles the dataset instantiation (name, variant, edge budget,
+    seed), the workload shape (batch size, sampler, pool size), the
+    system to build (:class:`SystemSpec`), and the pipeline execution
+    parameters (mode, batches, workers, checkpointing).
+    """
+
+    # dataset
+    dataset: str = "reddit"
+    variant: str = LARGE_SCALE
+    edge_budget: float = 2e6
+    seed: int = 0
+    # workload
+    batch_size: int = 128
+    n_workloads: int = 6
+    warmup_batches: int = 2
+    sampler: str = "sage"
+    # system
+    system: SystemSpec = field(default_factory=SystemSpec)
+    # pipeline
+    mode: str = "event"
+    n_batches: int = 30
+    n_workers: int = 4
+    queue_depth: int = 4
+    checkpoint_every: int = 0
+    checkpoint_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.system, dict):
+            self.system = SystemSpec.from_dict(self.system)
+
+    def validate(self) -> "RunSpec":
+        _require(
+            self.dataset in DATASETS,
+            f"unknown dataset {self.dataset!r}; "
+            f"one of {sorted(DATASETS)}",
+        )
+        _require(
+            self.variant in _VARIANTS,
+            f"variant must be one of {_VARIANTS}, got {self.variant!r}",
+        )
+        _require(
+            isinstance(self.edge_budget, numbers.Real)
+            and not isinstance(self.edge_budget, bool)
+            and self.edge_budget > 0,
+            f"edge_budget must be positive, got {self.edge_budget!r}",
+        )
+        _check_positive_int("batch_size", self.batch_size)
+        _check_positive_int("n_workloads", self.n_workloads)
+        _check_positive_int("warmup_batches", self.warmup_batches, minimum=0)
+        _require(
+            self.warmup_batches < self.n_workloads,
+            f"warmup_batches ({self.warmup_batches}) must leave at least "
+            f"one of the {self.n_workloads} workloads for measurement",
+        )
+        _require(
+            self.sampler in _SAMPLERS,
+            f"sampler must be one of {_SAMPLERS}, got {self.sampler!r}",
+        )
+        _require(
+            self.mode in _MODES,
+            f"mode must be one of {_MODES}, got {self.mode!r}",
+        )
+        _check_positive_int("n_batches", self.n_batches)
+        _check_positive_int("n_workers", self.n_workers)
+        _check_positive_int("queue_depth", self.queue_depth)
+        _check_positive_int(
+            "checkpoint_every", self.checkpoint_every, minimum=0
+        )
+        _check_positive_int(
+            "checkpoint_bytes", self.checkpoint_bytes, minimum=0
+        )
+        self.system.validate()
+        return self
+
+    # -- convenience -------------------------------------------------------
+
+    def replace(self, **kwargs) -> "RunSpec":
+        """Copy with top-level fields replaced (``system=`` included)."""
+        return dataclasses.replace(self, **kwargs)
+
+    def with_design(self, design: str) -> "RunSpec":
+        """Copy targeting a different design point."""
+        return self.replace(
+            system=dataclasses.replace(self.system, design=design)
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["system"] = self.system.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        return _from_dict(cls, data)
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        blob = json.dumps(self.to_dict(), indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(blob + "\n")
+        return blob
+
+    @classmethod
+    def from_json(cls, path: str) -> "RunSpec":
+        with open(path, "r", encoding="utf-8") as f:
+            try:
+                data = json.load(f)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"invalid JSON in run spec {path!r}: {exc}"
+                ) from exc
+        return cls.from_dict(data)

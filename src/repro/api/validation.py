@@ -1,0 +1,31 @@
+"""Small shared validators used by both the spec layer and core."""
+
+from __future__ import annotations
+
+import math
+import numbers
+
+from repro.errors import ConfigError
+
+__all__ = ["check_fraction", "check_bool"]
+
+
+def check_fraction(name: str, value) -> float:
+    """Validate ``value`` as a fraction in [0, 1]; return it as float."""
+    ok = (
+        not isinstance(value, bool)
+        and isinstance(value, numbers.Real)
+        and not math.isnan(float(value))
+        and 0.0 <= float(value) <= 1.0
+    )
+    if not ok:
+        raise ConfigError(
+            f"{name} must be a fraction in [0, 1], got {value!r}"
+        )
+    return float(value)
+
+
+def check_bool(name: str, value) -> bool:
+    if not isinstance(value, bool):
+        raise ConfigError(f"{name} must be a bool, got {value!r}")
+    return value

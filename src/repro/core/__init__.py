@@ -21,6 +21,7 @@ from repro.core.subgraph_generator import ISPBatchPlan, SubgraphGenerator
 from repro.core.systems import (
     DESIGNS,
     SSD_DESIGNS,
+    DesignContext,
     SystemRuntime,
     TrainingSystem,
     build_gpu_model,
@@ -46,6 +47,7 @@ __all__ = [
     "DirectIOFeatureEngine",
     "DESIGNS",
     "SSD_DESIGNS",
+    "DesignContext",
     "TrainingSystem",
     "SystemRuntime",
     "build_system",

@@ -1,8 +1,9 @@
-"""Design-point factory: assemble a full training system per Fig 18 bar.
+"""Design-point assembly: wire a full training system per Fig 18 bar.
 
-``build_system`` wires together the storage device, host I/O paths,
-caches, driver, and engines for any of the paper's seven design points,
-sized consistently against a concrete (scaled) dataset:
+Each design point is a builder function registered with the pluggable
+registry in :mod:`repro.api.registry`; ``build_system`` is now a thin
+shim that validates its inputs, prepares a :class:`DesignContext`, and
+dispatches to the registered builder.  The seven paper designs:
 
 ========================  ====================================================
 design                    meaning
@@ -16,13 +17,18 @@ design                    meaning
 ``smartsage-oracle``      ISP with dedicated Newport-class cores
 ``fpga-csd``              SmartSSD-style FPGA CSD (two-step P2P transfer)
 ========================  ====================================================
+
+Third-party designs register via ``@register_design("name")`` without
+touching this module (see :mod:`repro.api`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.api.registry import design_entry, register_design
+from repro.api.validation import check_bool, check_fraction
 from repro.config import HardwareParams, default_hardware
 from repro.core.feature_engines import (
     DirectIOFeatureEngine,
@@ -54,12 +60,14 @@ from repro.storage.ssd import SSDevice
 __all__ = [
     "DESIGNS",
     "SSD_DESIGNS",
+    "DesignContext",
     "SystemRuntime",
     "TrainingSystem",
     "build_system",
     "build_gpu_model",
 ]
 
+#: the paper's seven design points (the registry may hold more)
 DESIGNS = (
     "dram",
     "pmem",
@@ -69,7 +77,7 @@ DESIGNS = (
     "smartsage-oracle",
     "fpga-csd",
 )
-#: designs whose graph data lives on the SSD
+#: paper designs whose graph data lives on the SSD
 SSD_DESIGNS = (
     "ssd-mmap", "smartsage-sw", "smartsage-hwsw",
     "smartsage-oracle", "fpga-csd",
@@ -109,6 +117,221 @@ class TrainingSystem:
         return self.ssd is not None
 
 
+@dataclass
+class DesignContext:
+    """Everything a design builder needs to assemble a system.
+
+    Carries the design name, dataset, hardware, sizing knobs, and the
+    pre-computed storage layouts, plus helpers for the components that
+    several designs share (SSD + page buffer, host software,
+    scratchpads, the in-DRAM feature path).  Builders registered with
+    ``@register_design`` receive one of these and return a
+    :class:`TrainingSystem`.
+    """
+
+    design: str
+    dataset: GraphDataset
+    hw: HardwareParams
+    fanouts: tuple
+    granularity: Optional[int]
+    host_cache_frac: float
+    page_buffer_frac: float
+    features_in_dram: bool
+    edge_layout: EdgeListLayout = field(init=False)
+    feature_layout: FeatureTableLayout = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.edge_layout = EdgeListLayout(
+            self.dataset.graph,
+            id_bytes=self.hw.workload.edge_id_bytes,
+            lba_bytes=self.hw.ssd.lba_bytes,
+        )
+        self.feature_layout = FeatureTableLayout(
+            num_nodes=self.dataset.num_nodes,
+            feature_dim=self.dataset.feature_dim,
+            dtype_bytes=self.hw.workload.feature_dtype_bytes,
+            lba_bytes=self.hw.ssd.lba_bytes,
+            base_byte=self.edge_layout.end_byte,
+        )
+
+    # -- shared components -------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return self.edge_layout.total_bytes + self.feature_layout.total_bytes
+
+    def make_ssd(self, dedicated_isp_cores: bool = False) -> SSDevice:
+        """An SSD with its page buffer sized to ``page_buffer_frac``."""
+        ssd = SSDevice(self.hw, dedicated_isp_cores=dedicated_isp_cores)
+        pages = max(
+            16,
+            int(self.edge_layout.total_bytes * self.page_buffer_frac)
+            // ssd.nand.page_bytes,
+        )
+        ssd.page_buffer = PageBuffer(pages)
+        return ssd
+
+    def host_software(self) -> HostSoftware:
+        return HostSoftware(self.hw.hostsw)
+
+    def page_cache(self) -> OSPageCache:
+        """OS page cache sized as ``host_cache_frac`` of the dataset."""
+        return OSPageCache(
+            capacity_bytes=max(
+                self.hw.ssd.lba_bytes,
+                int(self.total_bytes * self.host_cache_frac),
+            ),
+            page_bytes=self.hw.ssd.lba_bytes,
+        )
+
+    def edge_scratchpad(self) -> Scratchpad:
+        """User-space scratchpad for edge-list chunks (direct-I/O path)."""
+        avg_chunk = max(
+            self.hw.ssd.lba_bytes,
+            int(
+                self.dataset.graph.average_degree
+                * self.hw.workload.edge_id_bytes
+            ),
+        )
+        return Scratchpad(
+            capacity_bytes=max(
+                avg_chunk,
+                int(self.edge_layout.total_bytes * self.host_cache_frac),
+            ),
+            avg_entry_bytes=avg_chunk,
+        )
+
+    def feature_scratchpad(self) -> Scratchpad:
+        return Scratchpad(
+            capacity_bytes=max(
+                self.feature_layout.row_bytes,
+                int(self.feature_layout.total_bytes * self.host_cache_frac),
+            ),
+            avg_entry_bytes=max(
+                self.hw.ssd.lba_bytes, self.feature_layout.row_bytes
+            ),
+        )
+
+    def dram_feature_engine(self) -> DRAMFeatureEngine:
+        return DRAMFeatureEngine(self.hw, self.feature_layout.row_bytes)
+
+    def make_system(self, sampling_engine, feature_engine,
+                    ssd: Optional[SSDevice] = None) -> TrainingSystem:
+        """Assemble the final :class:`TrainingSystem` for this context."""
+        return TrainingSystem(
+            design=self.design, hw=self.hw, ssd=ssd,
+            edge_layout=self.edge_layout if ssd else None,
+            feature_layout=self.feature_layout if ssd else None,
+            sampling_engine=sampling_engine,
+            feature_engine=feature_engine,
+        )
+
+
+# -- the paper's seven registered designs ----------------------------------
+
+
+@register_design("dram", description="oracular in-memory DRAM baseline")
+def _build_dram(ctx: DesignContext) -> TrainingSystem:
+    return ctx.make_system(
+        sampling_engine=DRAMSamplingEngine(ctx.hw),
+        feature_engine=ctx.dram_feature_engine(),
+    )
+
+
+@register_design("pmem", description="Intel Optane DC PMEM on the memory bus")
+def _build_pmem(ctx: DesignContext) -> TrainingSystem:
+    return ctx.make_system(
+        sampling_engine=PMEMSamplingEngine(ctx.hw),
+        feature_engine=PMEMFeatureEngine(
+            ctx.hw, ctx.feature_layout.row_bytes
+        ),
+    )
+
+
+@register_design("ssd-mmap", ssd_backed=True,
+                 description="baseline SSD system (mmap + OS page cache)")
+def _build_ssd_mmap(ctx: DesignContext) -> TrainingSystem:
+    ssd = ctx.make_ssd()
+    sw = ctx.host_software()
+    page_cache = ctx.page_cache()
+    feature_engine = (
+        ctx.dram_feature_engine()
+        if ctx.features_in_dram
+        else MmapFeatureEngine(ssd, ctx.feature_layout, page_cache, sw)
+    )
+    return ctx.make_system(
+        ssd=ssd,
+        sampling_engine=MmapSamplingEngine(
+            ssd, ctx.edge_layout, page_cache, sw
+        ),
+        feature_engine=feature_engine,
+    )
+
+
+def _direct_io_feature_engine(ctx: DesignContext, ssd: SSDevice, sw):
+    """Feature path shared by all direct-I/O designs."""
+    if ctx.features_in_dram:
+        return ctx.dram_feature_engine()
+    return DirectIOFeatureEngine(
+        ssd, ctx.feature_layout, ctx.feature_scratchpad(), sw
+    )
+
+
+@register_design("smartsage-sw", ssd_backed=True,
+                 description="direct I/O + scratchpads, host sampling")
+def _build_smartsage_sw(ctx: DesignContext) -> TrainingSystem:
+    ssd = ctx.make_ssd()
+    sw = ctx.host_software()
+    return ctx.make_system(
+        ssd=ssd,
+        sampling_engine=DirectIOSamplingEngine(
+            ssd, ctx.edge_layout, ctx.edge_scratchpad(), sw
+        ),
+        feature_engine=_direct_io_feature_engine(ctx, ssd, sw),
+    )
+
+
+def _build_isp(ctx: DesignContext, dedicated_cores: bool) -> TrainingSystem:
+    ssd = ctx.make_ssd(dedicated_isp_cores=dedicated_cores)
+    sw = ctx.host_software()
+    driver = SmartSAGEDriver(sw, ssd.nvme, ssd.fabric)
+    return ctx.make_system(
+        ssd=ssd,
+        sampling_engine=ISPSamplingEngine(
+            ssd, ctx.edge_layout, driver, ctx.fanouts,
+            granularity=ctx.granularity,
+        ),
+        feature_engine=_direct_io_feature_engine(ctx, ssd, sw),
+    )
+
+
+@register_design("smartsage-hwsw", ssd_backed=True,
+                 description="full ISP offload of neighbor sampling")
+def _build_smartsage_hwsw(ctx: DesignContext) -> TrainingSystem:
+    return _build_isp(ctx, dedicated_cores=False)
+
+
+@register_design("smartsage-oracle", ssd_backed=True,
+                 description="ISP with dedicated Newport-class cores")
+def _build_smartsage_oracle(ctx: DesignContext) -> TrainingSystem:
+    return _build_isp(ctx, dedicated_cores=True)
+
+
+@register_design("fpga-csd", ssd_backed=True,
+                 description="SmartSSD-style FPGA CSD (two-step P2P)")
+def _build_fpga_csd(ctx: DesignContext) -> TrainingSystem:
+    ssd = ctx.make_ssd()
+    sw = ctx.host_software()
+    return ctx.make_system(
+        ssd=ssd,
+        sampling_engine=FPGACSDSamplingEngine(ssd, ctx.edge_layout, ctx.hw),
+        feature_engine=_direct_io_feature_engine(ctx, ssd, sw),
+    )
+
+
+# -- the public factory (back-compat shim over the registry) ---------------
+
+
 def build_system(
     design: str,
     dataset: GraphDataset,
@@ -120,6 +343,11 @@ def build_system(
     features_in_dram: bool = True,
 ) -> TrainingSystem:
     """Assemble one design point sized against ``dataset``.
+
+    Thin shim over the design registry: validates inputs, builds a
+    :class:`DesignContext`, and dispatches to the builder registered for
+    ``design`` (any name in ``repro.api.available_designs()``, not just
+    the paper's seven).
 
     ``host_cache_frac`` sizes the OS page cache / user scratchpads as a
     fraction of the dataset (mirroring the paper's 192 GB host against
@@ -133,116 +361,28 @@ def build_system(
     storage-backed feature paths (a library extension for feature tables
     beyond DRAM capacity).
     """
-    if design not in DESIGNS:
-        raise ConfigError(f"unknown design {design!r}; one of {DESIGNS}")
+    entry = design_entry(design)
+    host_cache_frac = check_fraction("host_cache_frac", host_cache_frac)
+    page_buffer_frac = check_fraction("page_buffer_frac", page_buffer_frac)
+    check_bool("features_in_dram", features_in_dram)
     hw = hw or default_hardware()
-    fanouts = tuple(fanouts or hw.workload.fanouts)
-    edge_layout = EdgeListLayout(
-        dataset.graph,
-        id_bytes=hw.workload.edge_id_bytes,
-        lba_bytes=hw.ssd.lba_bytes,
+    ctx = DesignContext(
+        design=design,
+        dataset=dataset,
+        hw=hw,
+        fanouts=tuple(fanouts or hw.workload.fanouts),
+        granularity=granularity,
+        host_cache_frac=host_cache_frac,
+        page_buffer_frac=page_buffer_frac,
+        features_in_dram=features_in_dram,
     )
-    feature_layout = FeatureTableLayout(
-        num_nodes=dataset.num_nodes,
-        feature_dim=dataset.feature_dim,
-        dtype_bytes=hw.workload.feature_dtype_bytes,
-        lba_bytes=hw.ssd.lba_bytes,
-        base_byte=edge_layout.end_byte,
-    )
-    if design == "dram":
-        return TrainingSystem(
-            design=design, hw=hw,
-            sampling_engine=DRAMSamplingEngine(hw),
-            feature_engine=DRAMFeatureEngine(
-                hw, feature_layout.row_bytes
-            ),
+    system = entry.builder(ctx)
+    if not isinstance(system, TrainingSystem):
+        raise ConfigError(
+            f"design {design!r} builder returned {type(system).__name__}, "
+            "expected TrainingSystem"
         )
-    if design == "pmem":
-        return TrainingSystem(
-            design=design, hw=hw,
-            sampling_engine=PMEMSamplingEngine(hw),
-            feature_engine=PMEMFeatureEngine(
-                hw, feature_layout.row_bytes
-            ),
-        )
-    # SSD-resident designs share one device and one host-software model.
-    ssd = SSDevice(hw, dedicated_isp_cores=(design == "smartsage-oracle"))
-    _size_page_buffer(ssd, edge_layout, page_buffer_frac)
-    sw = HostSoftware(hw.hostsw)
-    total_bytes = edge_layout.total_bytes + feature_layout.total_bytes
-    dram_features = DRAMFeatureEngine(hw, feature_layout.row_bytes)
-    if design == "ssd-mmap":
-        page_cache = OSPageCache(
-            capacity_bytes=max(
-                hw.ssd.lba_bytes, int(total_bytes * host_cache_frac)
-            ),
-            page_bytes=hw.ssd.lba_bytes,
-        )
-        feature_engine = (
-            dram_features
-            if features_in_dram
-            else MmapFeatureEngine(ssd, feature_layout, page_cache, sw)
-        )
-        return TrainingSystem(
-            design=design, hw=hw, ssd=ssd,
-            edge_layout=edge_layout, feature_layout=feature_layout,
-            sampling_engine=MmapSamplingEngine(
-                ssd, edge_layout, page_cache, sw
-            ),
-            feature_engine=feature_engine,
-        )
-    # All SmartSAGE variants (and the FPGA CSD) use direct I/O with
-    # user-space scratchpads for whatever stays on the host.
-    avg_chunk = max(
-        hw.ssd.lba_bytes,
-        int(dataset.graph.average_degree * hw.workload.edge_id_bytes),
-    )
-    edge_scratch = Scratchpad(
-        capacity_bytes=max(
-            avg_chunk, int(edge_layout.total_bytes * host_cache_frac)
-        ),
-        avg_entry_bytes=avg_chunk,
-    )
-    feat_scratch = Scratchpad(
-        capacity_bytes=max(
-            feature_layout.row_bytes,
-            int(feature_layout.total_bytes * host_cache_frac),
-        ),
-        avg_entry_bytes=max(hw.ssd.lba_bytes, feature_layout.row_bytes),
-    )
-    feature_engine = (
-        dram_features
-        if features_in_dram
-        else DirectIOFeatureEngine(ssd, feature_layout, feat_scratch, sw)
-    )
-    if design == "smartsage-sw":
-        sampling = DirectIOSamplingEngine(
-            ssd, edge_layout, edge_scratch, sw
-        )
-    elif design in ("smartsage-hwsw", "smartsage-oracle"):
-        driver = SmartSAGEDriver(sw, ssd.nvme, ssd.fabric)
-        sampling = ISPSamplingEngine(
-            ssd, edge_layout, driver, fanouts, granularity=granularity
-        )
-    elif design == "fpga-csd":
-        sampling = FPGACSDSamplingEngine(ssd, edge_layout, hw)
-    else:  # pragma: no cover - exhaustively handled above
-        raise ConfigError(f"unhandled design {design!r}")
-    return TrainingSystem(
-        design=design, hw=hw, ssd=ssd,
-        edge_layout=edge_layout, feature_layout=feature_layout,
-        sampling_engine=sampling, feature_engine=feature_engine,
-    )
-
-
-def _size_page_buffer(
-    ssd: SSDevice, edge_layout: EdgeListLayout, frac: float
-) -> None:
-    pages = max(
-        16,
-        int(edge_layout.total_bytes * frac) // ssd.nand.page_bytes,
-    )
-    ssd.page_buffer = PageBuffer(pages)
+    return system
 
 
 def build_gpu_model(

@@ -9,22 +9,25 @@ decisions and measurement protocol are identical across the suite:
 * **distinct-batch steady state** -- engines are costed on a stream of
   different random mini-batches after a warm-up, so cache hit rates
   reflect genuine cross-batch locality rather than artifact reuse.
+
+The heavy lifting lives in :mod:`repro.api.session`; this module adapts
+it to the experiments' :class:`ExperimentConfig` knobs (the functions
+here are thin delegating wrappers kept for the existing call sites).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-import numpy as np
-
+from repro.api.session import Session, generate_workloads, scaled_dataset
+from repro.api.session import sampling_throughput as _session_throughput
+from repro.api.session import steady_state_cost  # noqa: F401  (re-export)
+from repro.api.spec import RunSpec, SystemSpec
 from repro.config import HardwareParams, default_hardware
 from repro.core.accounting import BatchCost, SamplingWorkload
-from repro.core.systems import TrainingSystem, build_system
-from repro.errors import ConfigError
-from repro.graph.datasets import DATASETS, LARGE_SCALE, GraphDataset
-from repro.gnn.saint import SaintRandomWalkSampler
-from repro.gnn.sampler import NeighborSampler
+from repro.core.systems import TrainingSystem
+from repro.graph.datasets import LARGE_SCALE, GraphDataset
 
 __all__ = [
     "ExperimentConfig",
@@ -32,6 +35,9 @@ __all__ = [
     "make_workloads",
     "steady_state_cost",
     "design_sweep",
+    "build_eval_system",
+    "sampling_throughput",
+    "session_for",
     "EVAL_DATASETS",
     "EVAL_DESIGNS",
 ]
@@ -57,6 +63,57 @@ class ExperimentConfig:
 
         return dataclasses.replace(self, **kwargs)
 
+    def run_spec(
+        self,
+        dataset: str,
+        design: str = "ssd-mmap",
+        granularity: Optional[int] = None,
+        **pipeline,
+    ) -> RunSpec:
+        """The :class:`RunSpec` equivalent of this config.
+
+        ``pipeline`` kwargs (``mode``, ``n_batches``, ``n_workers``...)
+        pass straight through to :class:`RunSpec`.
+        """
+        return RunSpec(
+            dataset=dataset,
+            edge_budget=self.edge_budget,
+            seed=self.seed,
+            batch_size=self.batch_size,
+            n_workloads=self.n_workloads,
+            warmup_batches=self.warmup_batches,
+            system=SystemSpec(
+                design=design,
+                fanouts=self.fanouts,
+                granularity=granularity,
+            ),
+            **pipeline,
+        )
+
+
+def session_for(
+    dataset: GraphDataset,
+    cfg: ExperimentConfig,
+    design: str = "ssd-mmap",
+    workloads: Optional[Sequence[SamplingWorkload]] = None,
+    granularity: Optional[int] = None,
+    **pipeline,
+) -> Session:
+    """A :class:`Session` over an already-materialized ``dataset``.
+
+    The session shares ``cfg.hw`` (which may hold non-default objects
+    that a serializable spec cannot carry) and, when given, an existing
+    workload pool -- so every experiment compares designs on identical
+    state.
+    """
+    return Session(
+        cfg.run_spec(dataset.name, design, granularity=granularity,
+                     **pipeline),
+        dataset=dataset,
+        workloads=workloads,
+        hw=cfg.hw,
+    )
+
 
 def scaled_instance(
     name: str,
@@ -64,61 +121,25 @@ def scaled_instance(
     variant: str = LARGE_SCALE,
 ) -> GraphDataset:
     """Materialize ``name`` at ``cfg.edge_budget`` edges, true avg degree."""
-    if name not in DATASETS:
-        raise ConfigError(f"unknown dataset {name!r}")
-    spec = DATASETS[name]
-    avg_degree = spec.avg_degree(variant)
-    paper_nodes = spec.paper_stats(variant)["nodes"]
-    scale = (cfg.edge_budget / avg_degree) / paper_nodes
-    return spec.instantiate(variant=variant, scale=scale, seed=cfg.seed)
+    return scaled_dataset(
+        name, cfg.edge_budget, variant=variant, seed=cfg.seed
+    )
 
 
 def make_workloads(
     dataset: GraphDataset,
     cfg: ExperimentConfig,
     sampler_kind: str = "sage",
-) -> List[SamplingWorkload]:
+):
     """Sample ``n_workloads`` distinct mini-batches from ``dataset``."""
-    rng = np.random.default_rng(cfg.seed + 1)
-    if sampler_kind == "sage":
-        sampler = NeighborSampler(dataset.graph, fanouts=cfg.fanouts)
-    elif sampler_kind == "saint":
-        sampler = SaintRandomWalkSampler(
-            dataset.graph,
-            num_roots=cfg.batch_size,
-            walk_length=2 * len(cfg.fanouts),
-        )
-    else:
-        raise ConfigError(f"unknown sampler kind {sampler_kind!r}")
-    workloads = []
-    for _ in range(cfg.n_workloads):
-        seeds = rng.integers(0, dataset.num_nodes, size=cfg.batch_size)
-        batch = sampler.sample_batch(seeds, rng)
-        workloads.append(SamplingWorkload.from_minibatch(batch))
-    return workloads
-
-
-def steady_state_cost(
-    engine,
-    workloads: Sequence[SamplingWorkload],
-    warmup: int = 2,
-) -> BatchCost:
-    """Mean per-batch cost after cache warm-up, over distinct batches."""
-    if not workloads:
-        raise ConfigError("need at least one workload")
-    warmup = min(warmup, max(0, len(workloads) - 1))
-    for w in workloads[:warmup]:
-        engine.batch_cost(w)
-    measured = workloads[warmup:]
-    total = BatchCost(design=getattr(engine, "design", None))
-    for w in measured:
-        total.merge(engine.batch_cost(w))
-    n = len(measured)
-    total.total_s /= n
-    total.components = {k: v / n for k, v in total.components.items()}
-    total.bytes_from_ssd //= n
-    total.requests //= n
-    return total
+    return generate_workloads(
+        dataset,
+        batch_size=cfg.batch_size,
+        n_workloads=cfg.n_workloads,
+        fanouts=cfg.fanouts,
+        seed=cfg.seed,
+        sampler=sampler_kind,
+    )
 
 
 def design_sweep(
@@ -129,16 +150,10 @@ def design_sweep(
     granularity: Optional[int] = None,
 ) -> Dict[str, BatchCost]:
     """Steady-state sampling cost of each design on the same workloads."""
-    out: Dict[str, BatchCost] = {}
-    for design in designs:
-        system = build_system(
-            design, dataset, hw=cfg.hw,
-            fanouts=cfg.fanouts, granularity=granularity,
-        )
-        out[design] = steady_state_cost(
-            system.sampling_engine, workloads, warmup=cfg.warmup_batches
-        )
-    return out
+    session = session_for(
+        dataset, cfg, workloads=workloads, granularity=granularity
+    )
+    return session.sampling_costs(designs)
 
 
 def build_eval_system(
@@ -148,10 +163,9 @@ def build_eval_system(
     granularity: Optional[int] = None,
 ) -> TrainingSystem:
     """System builder with the experiment's shared configuration."""
-    return build_system(
-        design, dataset, hw=cfg.hw,
-        fanouts=cfg.fanouts, granularity=granularity,
-    )
+    return session_for(
+        dataset, cfg, design, granularity=granularity
+    ).build()
 
 
 def sampling_throughput(
@@ -164,34 +178,11 @@ def sampling_throughput(
 ) -> float:
     """Batches/second of ``n_workers`` concurrent producers, sampling
     only (no feature lookup, no GPU) -- the Fig 14/16/17 measurement.
-
-    Runs in event mode so that workers genuinely contend for the SSD's
-    flash lanes, embedded cores, PCIe link, and the page-cache lock.
     """
-    from repro.sim.engine import Simulator, all_of
-
-    system = build_eval_system(design, dataset, cfg)
-    warm = min(cfg.warmup_batches, max(0, len(workloads) - 1))
-    for w in workloads[:warm]:
-        system.sampling_engine.batch_cost(w)
-    pool = workloads[warm:]
-    sim = Simulator()
-    runtime = system.attach(sim)
-    counter = {"next": 0}
-
-    def worker():
-        while True:
-            idx = counter["next"]
-            if idx >= n_batches:
-                return
-            counter["next"] += 1
-            yield from system.sampling_engine.batch_process(
-                runtime, pool[idx % len(pool)]
-            )
-
-    procs = [sim.process(worker()) for _ in range(n_workers)]
-    done = all_of(sim, procs)
-    while not done.triggered:
-        if not sim.step():
-            raise ConfigError("sampling throughput run deadlocked")
-    return n_batches / sim.now
+    return _session_throughput(
+        build_eval_system(design, dataset, cfg),
+        workloads,
+        n_workers=n_workers,
+        n_batches=n_batches,
+        warmup=cfg.warmup_batches,
+    )

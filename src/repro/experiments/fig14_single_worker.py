@@ -12,9 +12,8 @@ from repro.experiments.common import (
     EVAL_DATASETS,
     EVAL_DESIGNS,
     ExperimentConfig,
-    design_sweep,
-    make_workloads,
     scaled_instance,
+    session_for,
 )
 from repro.experiments.report import format_bars, format_table
 from repro.sim.stats import geometric_mean
@@ -31,9 +30,8 @@ def run(
     cfg = cfg or ExperimentConfig()
     per_dataset = {}
     for name in datasets:
-        ds = scaled_instance(name, cfg)
-        workloads = make_workloads(ds, cfg)
-        costs = design_sweep(ds, EVAL_DESIGNS, workloads, cfg)
+        session = session_for(scaled_instance(name, cfg), cfg)
+        costs = session.sampling_costs(EVAL_DESIGNS)
         mmap = costs["ssd-mmap"].total_s
         per_dataset[name] = {
             "mmap_ms": mmap * 1e3,

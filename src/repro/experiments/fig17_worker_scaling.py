@@ -12,9 +12,8 @@ from typing import Optional, Sequence
 from repro.experiments.common import (
     EVAL_DATASETS,
     ExperimentConfig,
-    make_workloads,
-    sampling_throughput,
     scaled_instance,
+    session_for,
 )
 from repro.experiments.report import format_table
 
@@ -31,16 +30,15 @@ def run(
     cfg = cfg or ExperimentConfig(n_workloads=8)
     per_dataset = {}
     for name in datasets:
-        ds = scaled_instance(name, cfg)
-        workloads = make_workloads(ds, cfg)
+        session = session_for(scaled_instance(name, cfg), cfg)
         speedups = {}
         for workers in worker_counts:
             batches = max(8, 3 * workers)
-            hwsw = sampling_throughput(
-                "smartsage-hwsw", ds, workloads, cfg, workers, batches
+            hwsw = session.sampling_throughput(
+                "smartsage-hwsw", n_workers=workers, n_batches=batches
             )
-            sw = sampling_throughput(
-                "smartsage-sw", ds, workloads, cfg, workers, batches
+            sw = session.sampling_throughput(
+                "smartsage-sw", n_workers=workers, n_batches=batches
             )
             speedups[workers] = hwsw / sw
         per_dataset[name] = speedups

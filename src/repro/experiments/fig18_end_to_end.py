@@ -11,16 +11,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.systems import build_gpu_model
 from repro.experiments.common import (
     EVAL_DATASETS,
     ExperimentConfig,
-    build_eval_system,
-    make_workloads,
     scaled_instance,
+    session_for,
 )
 from repro.experiments.report import format_stacked, format_table
-from repro.pipeline import run_pipeline
 from repro.sim.stats import PhaseBreakdown, geometric_mean
 
 __all__ = ["run", "render", "main", "PAPER", "FIG18_DESIGNS"]
@@ -49,30 +46,25 @@ def run(
     cfg = cfg or ExperimentConfig(n_workloads=8)
     per_dataset = {}
     for name in datasets:
-        ds = scaled_instance(name, cfg)
-        workloads = make_workloads(ds, cfg)
-        gpu = build_gpu_model(ds, cfg.hw)
-        results = {}
-        for design in FIG18_DESIGNS:
-            system = build_eval_system(design, ds, cfg)
-            for w in workloads[: cfg.warmup_batches]:
-                system.sampling_engine.batch_cost(w)
-            results[design] = run_pipeline(
-                system, gpu, workloads[cfg.warmup_batches:],
-                n_batches=n_batches, n_workers=n_workers, mode="event",
-            )
+        session = session_for(
+            scaled_instance(name, cfg), cfg,
+            mode="event", n_batches=n_batches, n_workers=n_workers,
+        )
+        cmp = session.compare(list(FIG18_DESIGNS), baseline="ssd-mmap")
+        results = cmp.results
         elapsed = {d: r.elapsed_s for d, r in results.items()}
         per_dataset[name] = {
             "results": results,
             "elapsed": elapsed,
-            "hwsw_vs_mmap": elapsed["ssd-mmap"]
-            / elapsed["smartsage-hwsw"],
-            "sw_vs_mmap": elapsed["ssd-mmap"] / elapsed["smartsage-sw"],
+            "hwsw_vs_mmap": cmp.speedup("smartsage-hwsw"),
+            "sw_vs_mmap": cmp.speedup("smartsage-sw"),
             "pmem_vs_dram": elapsed["pmem"] / elapsed["dram"],
-            "oracle_frac_of_dram": elapsed["dram"]
-            / elapsed["smartsage-oracle"],
-            "oracle_frac_of_pmem": elapsed["pmem"]
-            / elapsed["smartsage-oracle"],
+            "oracle_frac_of_dram": cmp.speedup(
+                "smartsage-oracle", baseline="dram"
+            ),
+            "oracle_frac_of_pmem": cmp.speedup(
+                "smartsage-oracle", baseline="pmem"
+            ),
         }
     hwsw = [v["hwsw_vs_mmap"] for v in per_dataset.values()]
     sw = [v["sw_vs_mmap"] for v in per_dataset.values()]

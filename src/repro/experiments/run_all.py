@@ -23,7 +23,8 @@ ORDER = (
 )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
+    """Run every experiment; return the number of failures (0 = success)."""
     argv = argv if argv is not None else sys.argv[1:]
     if "--quick" in argv:
         cfg = ExperimentConfig(
@@ -32,18 +33,31 @@ def main(argv=None) -> None:
     else:
         cfg = ExperimentConfig(n_workloads=8)
     total_start = time.time()
+    failures = []
     for name in ORDER:
         module = ALL_EXPERIMENTS[name]
         start = time.time()
-        result = module.run(cfg)
+        try:
+            result = module.run(cfg)
+            rendered = module.render(result)
+        except Exception as exc:  # keep going; report at the end
+            failures.append(name)
+            print("=" * 72)
+            print(f"{name}  FAILED: {exc!r}")
+            print("=" * 72)
+            print()
+            continue
         elapsed = time.time() - start
         print("=" * 72)
         print(f"{name}  ({elapsed:.1f}s)")
         print("=" * 72)
-        print(module.render(result))
+        print(rendered)
         print()
     print(f"total: {time.time() - total_start:.1f}s")
+    if failures:
+        print(f"FAILED: {', '.join(failures)}", file=sys.stderr)
+    return len(failures)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
