@@ -5,15 +5,18 @@ Usage::
     python -m repro list                      # available experiments
     python -m repro designs                   # registered design points
     python -m repro run fig14                 # one experiment
-    python -m repro run all [--quick]         # everything
+    python -m repro run [all] [--quick] [--jobs N] [--json] [--out DIR]
+    python -m repro run all --only paper --skip e2e
     python -m repro run-spec spec.json        # one declarative run
     python -m repro run-spec spec.json --compare dram,ssd-mmap
+    python -m repro campaign campaign.json    # declarative batch
     python -m repro calibrate                 # headline ratios
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments import ALL_EXPERIMENTS
@@ -28,11 +31,36 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("designs", help="list registered design points")
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", help="experiment name or 'all'")
+    run = sub.add_parser(
+        "run", help="run one experiment (or 'all') as a campaign"
+    )
+    run.add_argument(
+        "experiment", nargs="?", default="all",
+        help="experiment name (default: 'all')",
+    )
     run.add_argument(
         "--quick", action="store_true",
         help="reduced scale (faster, compressed ratios)",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker threads for experiment units (default: 1)",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable campaign summary instead of text",
+    )
+    run.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write manifest.json + per-experiment JSON/CSV/text here",
+    )
+    run.add_argument(
+        "--only", metavar="TAGS", default=None,
+        help="comma-separated tags; run only experiments carrying one",
+    )
+    run.add_argument(
+        "--skip", metavar="TAGS", default=None,
+        help="comma-separated tags; skip experiments carrying one",
     )
     run_spec = sub.add_parser(
         "run-spec", help="run a declarative JSON RunSpec end-to-end"
@@ -42,6 +70,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--compare", metavar="DESIGNS",
         help="comma-separated designs to compare on the spec's workload "
              "(first is the speedup baseline)",
+    )
+    campaign = sub.add_parser(
+        "campaign",
+        help="execute a declarative campaign JSON file",
+    )
+    campaign.add_argument(
+        "spec", help="path to a campaign JSON file (CampaignSpec)"
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="override the spec's worker thread count",
+    )
+    campaign.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="override the spec's artifact directory",
+    )
+    campaign.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable campaign summary",
     )
     sub.add_parser("calibrate", help="print headline ratios vs paper")
     return parser
@@ -84,6 +131,88 @@ def _cmd_run_spec(path: str, compare: str = None) -> int:
     return 0
 
 
+def _quick_cfg(quick: bool) -> ExperimentConfig:
+    return (
+        ExperimentConfig(edge_budget=3e5, batch_size=48, n_workloads=6)
+        if quick
+        else ExperimentConfig(n_workloads=8)
+    )
+
+
+def _split_tags(blob) -> tuple:
+    if not blob:
+        return ()
+    return tuple(t.strip() for t in blob.split(",") if t.strip())
+
+
+def _cmd_run_one(args) -> int:
+    from repro.api.campaign import Campaign
+
+    campaign = Campaign(
+        experiments=[args.experiment],
+        cfg=_quick_cfg(args.quick),
+        jobs=args.jobs,
+        out_dir=args.out,
+        only_tags=_split_tags(args.only),
+        skip_tags=_split_tags(args.skip),
+    )
+    result = campaign.run()
+    if args.json:
+        print(json.dumps(result.to_json_obj(), indent=2))
+    else:
+        if not result.outcomes:
+            print(
+                f"{args.experiment}: excluded by --only/--skip "
+                "tag filters",
+                file=sys.stderr,
+            )
+        for outcome in result.outcomes.values():
+            if outcome.ok:
+                print(outcome.rendered or "(no rendering)")
+            else:
+                print(
+                    f"{outcome.name} FAILED: {outcome.error}",
+                    file=sys.stderr,
+                )
+                if outcome.traceback:
+                    print(outcome.traceback, end="", file=sys.stderr)
+    return result.n_failures
+
+
+def _cmd_campaign(args) -> int:
+    from repro.api.campaign import run_campaign_file
+    from repro.errors import ReproError
+
+    overrides = {}
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.out is not None:
+        overrides["out_dir"] = args.out
+    try:
+        result = run_campaign_file(
+            args.spec,
+            progress=None if args.json
+            else lambda message: print(message, file=sys.stderr),
+            **overrides,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.to_json_obj(), indent=2))
+    else:
+        for name, outcome in result.outcomes.items():
+            status = "ok" if outcome.ok else f"FAILED: {outcome.error}"
+            print(f"{name:18s} {status}")
+        if result.out_dir:
+            print(f"artifacts: {result.out_dir}")
+    if result.failures:
+        print(
+            f"FAILED: {', '.join(result.failures)}", file=sys.stderr
+        )
+    return result.n_failures
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -95,6 +224,8 @@ def main(argv=None) -> int:
         return _cmd_designs()
     if args.command == "run-spec":
         return _cmd_run_spec(args.spec, args.compare)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "calibrate":
         from repro.experiments import calibration
 
@@ -104,22 +235,30 @@ def main(argv=None) -> int:
     if args.experiment == "all":
         from repro.experiments import run_all
 
-        return run_all.main(["--quick"] if args.quick else [])
-    if args.experiment not in ALL_EXPERIMENTS:
+        forwarded = []
+        if args.quick:
+            forwarded.append("--quick")
+        if args.jobs != 1:
+            forwarded.extend(["--jobs", str(args.jobs)])
+        if args.json:
+            forwarded.append("--json")
+        if args.out:
+            forwarded.extend(["--out", args.out])
+        if args.only:
+            forwarded.extend(["--only", args.only])
+        if args.skip:
+            forwarded.extend(["--skip", args.skip])
+        return run_all.main(forwarded)
+    from repro.api.experiment import available_experiments
+
+    if args.experiment not in available_experiments():
         print(
             f"unknown experiment {args.experiment!r}; try: "
-            + ", ".join(ALL_EXPERIMENTS),
+            + ", ".join(available_experiments()),
             file=sys.stderr,
         )
         return 2
-    module = ALL_EXPERIMENTS[args.experiment]
-    cfg = (
-        ExperimentConfig(edge_budget=3e5, batch_size=48, n_workloads=6)
-        if args.quick
-        else ExperimentConfig(n_workloads=8)
-    )
-    print(module.render(module.run(cfg)))
-    return 0
+    return _cmd_run_one(args)
 
 
 if __name__ == "__main__":

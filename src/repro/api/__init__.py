@@ -1,6 +1,6 @@
-"""Declarative session API: specs, design registry, and the Session façade.
+"""Declarative APIs: specs, registries, sessions, and campaigns.
 
-The three pieces:
+The pieces:
 
 * :mod:`repro.api.registry` -- ``@register_design`` / ``available_designs``:
   the pluggable design-point registry that ``build_system`` dispatches
@@ -9,12 +9,29 @@ The three pieces:
   validated descriptions of what to build and run (JSON round-trip).
 * :mod:`repro.api.session` -- ``Session``: dataset -> system -> GPU ->
   pipeline in one call, plus ``compare``/``sweep`` helpers.
+* :mod:`repro.api.experiment` -- ``@register_experiment`` /
+  ``available_experiments``: the experiment registry (plan/collect
+  protocol, structured ``RunRecord`` rows).
+* :mod:`repro.api.campaign` -- ``Campaign``: batch executor over a
+  shared content-addressed cache with structured artifacts.
+* :mod:`repro.api.cache` -- ``ContentCache``: the build-once substrate
+  campaigns share across experiments and worker threads.
 
-``Session`` (and friends) are imported lazily so that
+``Session`` and ``Campaign`` (and friends) are imported lazily so that
 ``repro.core.systems`` can import the registry at module load without a
 circular import.
 """
 
+from repro.api.experiment import (
+    ExperimentEntry,
+    RunRecord,
+    available_experiments,
+    experiment_entry,
+    experiments_with_tag,
+    register_experiment,
+    run_experiment,
+    unregister_experiment,
+)
 from repro.api.registry import (
     DesignEntry,
     available_designs,
@@ -32,6 +49,14 @@ __all__ = [
     "available_designs",
     "design_entry",
     "is_ssd_backed",
+    "ExperimentEntry",
+    "RunRecord",
+    "register_experiment",
+    "unregister_experiment",
+    "available_experiments",
+    "experiment_entry",
+    "experiments_with_tag",
+    "run_experiment",
     "SystemSpec",
     "RunSpec",
     "Session",
@@ -40,6 +65,11 @@ __all__ = [
     "generate_workloads",
     "steady_state_cost",
     "sampling_throughput",
+    "Campaign",
+    "CampaignResult",
+    "CampaignSpec",
+    "ExperimentOutcome",
+    "ContentCache",
 ]
 
 _SESSION_NAMES = (
@@ -51,12 +81,27 @@ _SESSION_NAMES = (
     "sampling_throughput",
 )
 
+_CAMPAIGN_NAMES = (
+    "Campaign",
+    "CampaignResult",
+    "CampaignSpec",
+    "ExperimentOutcome",
+)
+
 
 def __getattr__(name):
     if name in _SESSION_NAMES:
         from repro.api import session
 
         return getattr(session, name)
+    if name in _CAMPAIGN_NAMES:
+        from repro.api import campaign
+
+        return getattr(campaign, name)
+    if name == "ContentCache":
+        from repro.api.cache import ContentCache
+
+        return ContentCache
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

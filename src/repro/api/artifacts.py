@@ -1,0 +1,126 @@
+"""Structured campaign artifacts: per-experiment JSON/CSV and manifest.
+
+A campaign writes, under its output directory:
+
+* ``<experiment>.json`` -- full-fidelity: metadata, status, and every
+  :class:`~repro.api.experiment.RunRecord` (``records_to_json`` /
+  ``records_from_json`` round-trip).
+* ``<experiment>.csv`` -- long-format spreadsheet view, one metric per
+  row (``experiment, dataset, design, params, metric, value``); params
+  are a compact JSON object.  ``records_from_csv`` reassembles records
+  (provenance, which the CSV intentionally drops, excepted).
+* ``<experiment>.txt`` -- the paper-style text rendering.
+* ``manifest.json`` -- the campaign index: config digest, per-experiment
+  status/timing/files, cache statistics.
+
+These feed ``BENCH_*.json``-style trajectories and ad-hoc analysis
+without scraping text reports.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.api.experiment import RunRecord
+from repro.errors import ConfigError
+
+__all__ = [
+    "records_to_json",
+    "records_from_json",
+    "records_to_csv",
+    "records_from_csv",
+    "write_text",
+    "write_json",
+]
+
+CSV_COLUMNS = ("experiment", "dataset", "design", "params", "metric", "value")
+
+
+def records_to_json(records: Sequence[RunRecord]) -> List[dict]:
+    """Plain-data form of ``records`` (json.dump-ready)."""
+    return [r.to_dict() for r in records]
+
+
+def records_from_json(data: Sequence[dict]) -> List[RunRecord]:
+    return [RunRecord.from_dict(d) for d in data]
+
+
+def records_to_csv(records: Sequence[RunRecord]) -> str:
+    """Long-format CSV: one row per (record, metric)."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(CSV_COLUMNS)
+    for record in records:
+        params = json.dumps(record.params, sort_keys=True)
+        for metric, value in record.metrics.items():
+            writer.writerow(
+                [
+                    record.experiment,
+                    record.dataset if record.dataset is not None else "",
+                    record.design if record.design is not None else "",
+                    params,
+                    metric,
+                    repr(value),
+                ]
+            )
+    return out.getvalue()
+
+
+def records_from_csv(text: str) -> List[RunRecord]:
+    """Reassemble records from :func:`records_to_csv` output.
+
+    Rows sharing (experiment, dataset, design, params) -- in file order
+    -- fold back into one record.  Provenance is not representable in
+    the CSV and comes back empty.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        return []
+    if tuple(header) != CSV_COLUMNS:
+        raise ConfigError(
+            f"unexpected CSV header {header!r}; "
+            f"expected {list(CSV_COLUMNS)}"
+        )
+    records: List[RunRecord] = []
+    index: Dict[tuple, RunRecord] = {}
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(CSV_COLUMNS):
+            raise ConfigError(f"malformed CSV row {row!r}")
+        experiment, dataset, design, params_blob, metric, value = row
+        key = (experiment, dataset, design, params_blob)
+        record = index.get(key)
+        if record is None:
+            try:
+                params = json.loads(params_blob)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"malformed params JSON {params_blob!r}: {exc}"
+                ) from exc
+            record = RunRecord(
+                experiment=experiment,
+                dataset=dataset or None,
+                design=design or None,
+                params=params,
+            )
+            index[key] = record
+            records.append(record)
+        record.metrics[metric] = float(value)
+    return records
+
+
+def write_text(path: str, text: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text if text.endswith("\n") else text + "\n")
+
+
+def write_json(path: str, data: Any) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=False)
+        f.write("\n")

@@ -1,0 +1,167 @@
+"""Content-addressed build cache shared across experiments.
+
+Materializing a scaled dataset and sampling its mini-batch workload pool
+dominate experiment start-up cost, and the same (dataset, edge budget,
+seed) tuple recurs across most figures.  A :class:`ContentCache` keys
+each expensive artifact by a stable hash of everything that determines
+its content, so a campaign builds each dataset / workload pool exactly
+once and every experiment -- on any worker thread -- reuses it.
+
+The cache is *activated* for a dynamic scope::
+
+    with activated(ContentCache()) as cache:
+        run_experiments()          # scaled_dataset() etc. now memoize
+    print(cache.stats())
+
+While no cache is active, :func:`cached` degrades to calling the builder
+directly, so library code can route through it unconditionally.  Builds
+of the *same* key serialize on a per-key lock (the second thread waits
+and reuses the first thread's artifact); builds of different keys run
+concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Optional
+
+__all__ = [
+    "ContentCache",
+    "spec_key",
+    "activated",
+    "active_cache",
+    "cached",
+]
+
+
+def spec_key(kind: str, **fields: Any) -> str:
+    """Stable content hash for a build request.
+
+    ``fields`` must identify everything that determines the artifact's
+    content (names, sizes, seeds...).  Values are canonicalized through
+    JSON with sorted keys; non-JSON values fall back to ``repr``.
+    """
+    blob = json.dumps([kind, fields], sort_keys=True, default=repr)
+    return f"{kind}:{hashlib.sha256(blob.encode()).hexdigest()}"
+
+
+class _Entry:
+    __slots__ = ("lock", "built", "value")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.built = False
+        self.value: Any = None
+
+
+class ContentCache:
+    """Thread-safe map from content key to built artifact."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for e in self._entries.values() if e.built)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry.built
+
+    def get_or_build(self, key: str, build: Callable[[], Any]) -> Any:
+        """Return the artifact for ``key``, building it at most once.
+
+        Concurrent requests for the same key serialize on a per-key
+        lock; the loser of the race reuses the winner's artifact.  A
+        builder that raises leaves the cache empty for that key, so a
+        later call retries instead of caching the failure.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is None:
+                    entry = _Entry()
+                    self._entries[key] = entry
+            with entry.lock:
+                if entry.built:
+                    with self._lock:
+                        self.hits += 1
+                    return entry.value
+                # a failed build (or clear()) may have evicted this
+                # entry while we waited on its lock; retry with the
+                # current one so a successful build is actually stored
+                with self._lock:
+                    if self._entries.get(key) is not entry:
+                        continue
+                try:
+                    value = build()
+                except BaseException:
+                    with self._lock:
+                        if self._entries.get(key) is entry:
+                            del self._entries[key]
+                    raise
+                entry.value = value
+                entry.built = True
+                with self._lock:
+                    self.misses += 1
+                return value
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": sum(
+                    1 for e in self._entries.values() if e.built
+                ),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_active: Optional[ContentCache] = None
+_active_lock = threading.Lock()
+
+
+def active_cache() -> Optional[ContentCache]:
+    """The currently activated cache, if any."""
+    return _active
+
+
+@contextmanager
+def activated(cache: Optional[ContentCache] = None):
+    """Activate ``cache`` (default: a fresh one) for the enclosed scope.
+
+    Activation is process-wide (worker threads spawned inside the scope
+    see the same cache); nested activations restore the outer cache on
+    exit.
+    """
+    global _active
+    cache = cache if cache is not None else ContentCache()
+    with _active_lock:
+        previous = _active
+        _active = cache
+    try:
+        yield cache
+    finally:
+        with _active_lock:
+            _active = previous
+
+
+def cached(kind: str, fields: Dict[str, Any], build: Callable[[], Any]) -> Any:
+    """Build-through helper: memoize via the active cache, if any."""
+    cache = _active
+    if cache is None:
+        return build()
+    return cache.get_or_build(spec_key(kind, **fields), build)

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.cache import cached
 from repro.api.spec import RunSpec, SystemSpec
 from repro.config import HardwareParams
 from repro.core.accounting import BatchCost, SamplingWorkload
@@ -54,14 +55,23 @@ def scaled_dataset(
     variant: str = LARGE_SCALE,
     seed: int = 0,
 ) -> GraphDataset:
-    """Materialize ``name`` at ``edge_budget`` edges, true avg degree."""
+    """Materialize ``name`` at ``edge_budget`` edges, true avg degree.
+
+    Memoized through the active :mod:`repro.api.cache` (if any), so a
+    campaign materializes each (name, budget, variant, seed) once and
+    shares the instance across experiments and worker threads.
+    """
     if name not in DATASETS:
         raise ConfigError(f"unknown dataset {name!r}")
     spec = DATASETS[name]
     avg_degree = spec.avg_degree(variant)
     paper_nodes = spec.paper_stats(variant)["nodes"]
     scale = (edge_budget / avg_degree) / paper_nodes
-    return spec.instantiate(variant=variant, scale=scale, seed=seed)
+    return cached(
+        "dataset",
+        dict(name=name, variant=variant, scale=scale, seed=seed),
+        lambda: spec.instantiate(variant=variant, scale=scale, seed=seed),
+    )
 
 
 def generate_workloads(
@@ -72,27 +82,50 @@ def generate_workloads(
     seed: int = 0,
     sampler: str = "sage",
 ) -> List[SamplingWorkload]:
-    """Sample ``n_workloads`` distinct mini-batches from ``dataset``."""
-    from repro.gnn.saint import SaintRandomWalkSampler
-    from repro.gnn.sampler import NeighborSampler
+    """Sample ``n_workloads`` distinct mini-batches from ``dataset``.
 
-    rng = np.random.default_rng(seed + 1)
-    if sampler == "sage":
-        impl = NeighborSampler(dataset.graph, fanouts=tuple(fanouts))
-    elif sampler == "saint":
-        impl = SaintRandomWalkSampler(
-            dataset.graph,
-            num_roots=batch_size,
-            walk_length=2 * len(fanouts),
-        )
-    else:
+    Memoized through the active :mod:`repro.api.cache` (if any); the
+    dataset's own materialization parameters are part of the key, so two
+    different instances never collide.  Returns a fresh list each call
+    (the workload objects themselves are shared and treated read-only).
+    """
+    fanouts = tuple(fanouts)
+    if sampler not in ("sage", "saint"):
         raise ConfigError(f"unknown sampler kind {sampler!r}")
-    workloads = []
-    for _ in range(n_workloads):
-        seeds = rng.integers(0, dataset.num_nodes, size=batch_size)
-        batch = impl.sample_batch(seeds, rng)
-        workloads.append(SamplingWorkload.from_minibatch(batch))
-    return workloads
+
+    def build() -> List[SamplingWorkload]:
+        from repro.gnn.saint import SaintRandomWalkSampler
+        from repro.gnn.sampler import NeighborSampler
+
+        rng = np.random.default_rng(seed + 1)
+        if sampler == "sage":
+            impl = NeighborSampler(dataset.graph, fanouts=fanouts)
+        else:  # saint (validated above)
+            impl = SaintRandomWalkSampler(
+                dataset.graph,
+                num_roots=batch_size,
+                walk_length=2 * len(fanouts),
+            )
+        workloads = []
+        for _ in range(n_workloads):
+            seeds = rng.integers(0, dataset.num_nodes, size=batch_size)
+            batch = impl.sample_batch(seeds, rng)
+            workloads.append(SamplingWorkload.from_minibatch(batch))
+        return workloads
+    key = dict(
+        dataset=dataset.name,
+        variant=dataset.variant,
+        scale=dataset.scale,
+        dataset_seed=dataset.seed,
+        nodes=dataset.num_nodes,
+        edges=dataset.num_edges,
+        batch_size=batch_size,
+        n_workloads=n_workloads,
+        fanouts=fanouts,
+        seed=seed,
+        sampler=sampler,
+    )
+    return list(cached("workloads", key, build))
 
 
 def steady_state_cost(

@@ -1,8 +1,15 @@
 """Experiment harness: one module per paper figure/table.
 
-Each module exposes ``run(cfg) -> dict`` (raw results), ``render(result)
--> str`` (the paper-style table/chart as text), and ``main()``.  See
-DESIGN.md's per-experiment index for the figure-to-module mapping.
+Each module registers itself with the Campaign API
+(:func:`repro.api.experiment.register_experiment`): a ``plan(cfg)`` that
+splits the experiment into independent units, a ``collect`` that merges
+unit outputs into the result dict, and (where the default flattening is
+not enough) a ``records`` hook emitting structured
+:class:`~repro.api.experiment.RunRecord` rows.  The legacy surface --
+``run(cfg) -> dict``, ``render(result) -> str``, ``main()`` -- is kept
+as thin shims over the same pieces.  ``ALL_EXPERIMENTS`` maps experiment
+name to module; see DESIGN.md's per-experiment index for the
+figure-to-module mapping.
 """
 
 from repro.experiments import (  # noqa: F401

@@ -10,8 +10,10 @@ attributable.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import RunRecord, register_experiment
 from repro.core.sampling_engines import DirectIOSamplingEngine
 from repro.experiments.common import (
     ExperimentConfig,
@@ -26,11 +28,7 @@ from repro.storage.pagebuffer import PageBuffer
 __all__ = ["run", "render", "main"]
 
 
-def run(
-    cfg: Optional[ExperimentConfig] = None,
-    dataset_name: str = "reddit",
-) -> dict:
-    cfg = cfg or ExperimentConfig()
+def _run_ladder(dataset_name: str, cfg: ExperimentConfig) -> dict:
     ds = scaled_instance(dataset_name, cfg)
     workloads = make_workloads(ds, cfg)
     variants = {}
@@ -86,6 +84,14 @@ def run(
     }
 
 
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    dataset_name: str = "reddit",
+) -> dict:
+    cfg = cfg or ExperimentConfig()
+    return _run_ladder(dataset_name, cfg)
+
+
 def render(result: dict) -> str:
     rows = [
         [name, f"{ms:.2f}", f"{result['speedups'][name]:.2f}x"]
@@ -112,6 +118,33 @@ def render(result: dict) -> str:
         for label, passed in checks
     )
     return table + "\n" + notes
+
+
+def _records(result: dict) -> list:
+    return [
+        RunRecord(
+            experiment="ablations",
+            dataset=result["dataset"],
+            params={"variant": variant},
+            metrics={
+                "sampling_ms": ms,
+                "speedup_vs_mmap": result["speedups"][variant],
+            },
+        )
+        for variant, ms in result["variants_ms"].items()
+    ]
+
+
+@register_experiment(
+    "ablations",
+    figure="Design-choice ablations",
+    tags=("extension", "ablation"),
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """A single unit running the full ablation ladder (shared state)."""
+    return [partial(_run_ladder, "reddit", cfg)]
 
 
 def main() -> None:

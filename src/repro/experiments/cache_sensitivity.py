@@ -10,8 +10,10 @@ leave the mmap baseline far behind latency-optimized SmartSAGE(SW).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
+from repro.api.experiment import RunRecord, register_experiment
 from repro.core.systems import build_system
 from repro.experiments.common import (
     ExperimentConfig,
@@ -26,12 +28,11 @@ __all__ = ["run", "render", "main", "CACHE_FRACS"]
 CACHE_FRACS = (0.05, 0.15, 0.30, 0.60)
 
 
-def run(
-    cfg: Optional[ExperimentConfig] = None,
-    dataset_name: str = "reddit",
+def _run_sweep(
+    dataset_name: str,
+    cfg: ExperimentConfig,
     cache_fracs: Sequence[float] = CACHE_FRACS,
 ) -> dict:
-    cfg = cfg or ExperimentConfig()
     ds = scaled_instance(dataset_name, cfg)
     workloads = make_workloads(ds, cfg)
     mmap_ms = {}
@@ -60,6 +61,15 @@ def run(
         "sw_ms": sw_ms,
         "cache_fracs": tuple(cache_fracs),
     }
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    dataset_name: str = "reddit",
+    cache_fracs: Sequence[float] = CACHE_FRACS,
+) -> dict:
+    cfg = cfg or ExperimentConfig()
+    return _run_sweep(dataset_name, cfg, cache_fracs)
 
 
 def render(result: dict) -> str:
@@ -93,6 +103,43 @@ def render(result: dict) -> str:
         else "\nWARNING: cache rescued mmap -- unexpected at this scale."
     )
     return table + note
+
+
+def _records(result: dict) -> list:
+    records = [
+        RunRecord(
+            experiment="cache-sensitivity",
+            dataset=result["dataset"],
+            design="ssd-mmap",
+            params={"host_cache_frac": frac},
+            metrics={
+                "sampling_ms": result["mmap_ms"][frac],
+                "hit_rate": result["hit_rates"][frac],
+            },
+        )
+        for frac in result["cache_fracs"]
+    ]
+    records.append(
+        RunRecord(
+            experiment="cache-sensitivity",
+            dataset=result["dataset"],
+            design="smartsage-sw",
+            metrics={"sampling_ms": result["sw_ms"]},
+        )
+    )
+    return records
+
+
+@register_experiment(
+    "cache-sensitivity",
+    figure="Latency-vs-locality ablation",
+    tags=("extension", "sensitivity", "cache"),
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """A single unit sweeping the page-cache budget."""
+    return [partial(_run_sweep, "reddit", cfg)]
 
 
 def main() -> None:

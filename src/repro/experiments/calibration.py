@@ -7,8 +7,10 @@ change to :mod:`repro.config` -- all figures must hold simultaneously.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import RunRecord, register_experiment
 from repro.experiments import (
     fig14_single_worker,
     fig16_multi_worker,
@@ -20,12 +22,21 @@ from repro.experiments.report import format_table
 __all__ = ["run", "render", "main"]
 
 
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    f14, f16, f18 = outputs
+    return {"fig14": f14, "fig16": f16, "fig18": f18}
+
+
 def run(cfg: Optional[ExperimentConfig] = None) -> dict:
     cfg = cfg or ExperimentConfig(n_workloads=8)
-    f14 = fig14_single_worker.run(cfg)
-    f16 = fig16_multi_worker.run(cfg)
-    f18 = fig18_end_to_end.run(cfg)
-    return {"fig14": f14, "fig16": f16, "fig18": f18}
+    return _collect(
+        cfg,
+        [
+            fig14_single_worker.run(cfg),
+            fig16_multi_worker.run(cfg),
+            fig18_end_to_end.run(cfg),
+        ],
+    )
 
 
 def render(result: dict) -> str:
@@ -63,6 +74,50 @@ def render(result: dict) -> str:
         rows,
         title="Calibration: paper headline ratios from one parameter set",
     )
+
+
+def _records(result: dict) -> list:
+    f14, f16, f18 = result["fig14"], result["fig16"], result["fig18"]
+    return [
+        RunRecord(
+            experiment="calibration",
+            metrics={
+                "fig14_sw_avg": f14["sw_avg"],
+                "fig14_hwsw_avg": f14["hwsw_avg"],
+                "fig14_hwsw_max": f14["hwsw_max"],
+                "fig14_data_movement_reduction_avg":
+                    f14["data_movement_reduction_avg"],
+                "fig16_hwsw_avg": f16["hwsw_avg"],
+                "fig16_hwsw_max": f16["hwsw_max"],
+                "fig16_sw_avg": f16["sw_avg"],
+                "fig18_hwsw_vs_mmap_avg": f18["hwsw_vs_mmap_avg"],
+                "fig18_hwsw_vs_mmap_max": f18["hwsw_vs_mmap_max"],
+                "fig18_sw_vs_mmap_avg": f18["sw_vs_mmap_avg"],
+                "fig18_pmem_vs_dram_avg": f18["pmem_vs_dram_avg"],
+                "fig18_oracle_frac_of_dram_avg":
+                    f18["oracle_frac_of_dram_avg"],
+                "fig18_oracle_frac_of_pmem_avg":
+                    f18["oracle_frac_of_pmem_avg"],
+            },
+        )
+    ]
+
+
+@register_experiment(
+    "calibration",
+    figure="Calibration summary",
+    tags=("extension", "calibration"),
+    collect=_collect,
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One unit per headline figure (14, 16, 18)."""
+    return [
+        partial(fig14_single_worker.run, cfg),
+        partial(fig16_multi_worker.run, cfg),
+        partial(fig18_end_to_end.run, cfg),
+    ]
 
 
 def main() -> None:

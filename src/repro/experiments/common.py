@@ -58,10 +58,60 @@ class ExperimentConfig:
     seed: int = 0
     hw: HardwareParams = field(default_factory=default_hardware)
 
+    #: the JSON-serializable knobs (``hw`` carries live objects and is
+    #: deliberately excluded -- campaign files override these only)
+    SERIALIZED_FIELDS = (
+        "edge_budget", "batch_size", "fanouts", "n_workloads",
+        "warmup_batches", "seed",
+    )
+
     def replace(self, **kwargs) -> "ExperimentConfig":
         import dataclasses
 
         return dataclasses.replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """The serializable knobs as a plain dict (JSON-ready)."""
+        out = {}
+        for name in self.SERIALIZED_FIELDS:
+            value = getattr(self, name)
+            out[name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        """Config from serializable overrides; unknown keys are errors."""
+        from repro.errors import ConfigError
+
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"experiment config must be a mapping, got {data!r}"
+            )
+        unknown = set(data) - set(cls.SERIALIZED_FIELDS)
+        if unknown:
+            raise ConfigError(
+                f"unknown experiment config field(s) {sorted(unknown)}; "
+                f"known: {sorted(cls.SERIALIZED_FIELDS)}"
+            )
+        fixed = {
+            k: tuple(v) if isinstance(v, list) else v
+            for k, v in data.items()
+        }
+        return cls(**fixed)
+
+    def merged(self, overrides: Optional[dict]) -> "ExperimentConfig":
+        """Copy with serializable ``overrides`` applied on top.
+
+        Overrides go through :meth:`from_dict` (one validation and
+        normalization path) and only the overridden fields are taken
+        from the result, so non-serialized state (``hw``) survives.
+        """
+        if not overrides:
+            return self
+        normalized = type(self).from_dict(overrides)
+        return self.replace(
+            **{k: getattr(normalized, k) for k in overrides}
+        )
 
     def run_spec(
         self,

@@ -9,8 +9,10 @@ design's cost scales and whether the HW/SW advantage survives.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import RunRecord, register_experiment
 from repro.experiments.common import (
     EVAL_DESIGNS,
     ExperimentConfig,
@@ -29,24 +31,40 @@ DEPTH_FANOUTS = {
 }
 
 
+def _run_depth(
+    dataset_name: str, depth: int, cfg: ExperimentConfig
+) -> tuple:
+    ds = scaled_instance(dataset_name, cfg)
+    depth_cfg = cfg.replace(fanouts=DEPTH_FANOUTS[depth])
+    workloads = make_workloads(ds, depth_cfg)
+    costs = design_sweep(ds, EVAL_DESIGNS, workloads, depth_cfg)
+    return depth, {
+        "targets": workloads[0].total_targets,
+        "mmap_ms": costs["ssd-mmap"].total_s * 1e3,
+        "hwsw_speedup": costs["ssd-mmap"].total_s
+        / costs["smartsage-hwsw"].total_s,
+    }
+
+
+def _collect(
+    cfg: ExperimentConfig, outputs: list, dataset_name: str = "reddit"
+) -> dict:
+    return {"dataset": dataset_name, "per_depth": dict(outputs)}
+
+
 def run(
     cfg: Optional[ExperimentConfig] = None,
     dataset_name: str = "reddit",
 ) -> dict:
     cfg = cfg or ExperimentConfig()
-    ds = scaled_instance(dataset_name, cfg)
-    per_depth = {}
-    for depth, fanouts in DEPTH_FANOUTS.items():
-        depth_cfg = cfg.replace(fanouts=fanouts)
-        workloads = make_workloads(ds, depth_cfg)
-        costs = design_sweep(ds, EVAL_DESIGNS, workloads, depth_cfg)
-        per_depth[depth] = {
-            "targets": workloads[0].total_targets,
-            "mmap_ms": costs["ssd-mmap"].total_s * 1e3,
-            "hwsw_speedup": costs["ssd-mmap"].total_s
-            / costs["smartsage-hwsw"].total_s,
-        }
-    return {"dataset": dataset_name, "per_depth": per_depth}
+    return _collect(
+        cfg,
+        [
+            _run_depth(dataset_name, depth, cfg)
+            for depth in DEPTH_FANOUTS
+        ],
+        dataset_name=dataset_name,
+    )
 
 
 def render(result: dict) -> str:
@@ -70,6 +88,38 @@ def render(result: dict) -> str:
         else "\nWARNING: HW/SW advantage collapsed at some depth!"
     )
     return table + note
+
+
+def _records(result: dict) -> list:
+    return [
+        RunRecord(
+            experiment="depth-sensitivity",
+            dataset=result["dataset"],
+            params={"depth": depth},
+            metrics={
+                "targets": d["targets"],
+                "mmap_ms": d["mmap_ms"],
+                "hwsw_speedup": d["hwsw_speedup"],
+            },
+        )
+        for depth, d in result["per_depth"].items()
+    ]
+
+
+@register_experiment(
+    "depth-sensitivity",
+    figure="Depth sensitivity (extension)",
+    tags=("extension", "sensitivity"),
+    collect=_collect,
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One sampling-depth unit per configured hop count."""
+    return [
+        partial(_run_depth, "reddit", depth, cfg)
+        for depth in DEPTH_FANOUTS
+    ]
 
 
 def main() -> None:

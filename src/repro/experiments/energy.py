@@ -8,8 +8,10 @@ hundreds of watts.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import register_experiment
 from repro.core.energy import energy_comparison
 from repro.core.systems import build_gpu_model
 from repro.experiments.common import (
@@ -28,35 +30,36 @@ _DESIGNS = ("ssd-mmap", "smartsage-sw", "smartsage-hwsw",
             "smartsage-oracle", "dram")
 
 
-def run(
-    cfg: Optional[ExperimentConfig] = None,
-    datasets=("reddit", "amazon"),
+def _run_dataset(
+    name: str,
+    cfg: ExperimentConfig,
     n_batches: int = 24,
     n_workers: int = 12,
-) -> dict:
-    cfg = cfg or ExperimentConfig(n_workloads=8)
-    per_dataset = {}
-    for name in datasets:
-        ds = scaled_instance(name, cfg)
-        workloads = make_workloads(ds, cfg)
-        gpu = build_gpu_model(ds, cfg.hw)
-        results = {}
-        for design in _DESIGNS:
-            system = build_eval_system(design, ds, cfg)
-            for w in workloads[: cfg.warmup_batches]:
-                system.sampling_engine.batch_cost(w)
-            results[design] = run_pipeline(
-                system, gpu, workloads[cfg.warmup_batches:],
-                n_batches=n_batches, n_workers=n_workers, mode="event",
-            )
-        reports = energy_comparison(results)
-        per_dataset[name] = {
-            "reports": reports,
-            "energy_saving_vs_mmap": reports["ssd-mmap"].energy_j
-            / reports["smartsage-hwsw"].energy_j,
-            "time_saving_vs_mmap": results["ssd-mmap"].elapsed_s
-            / results["smartsage-hwsw"].elapsed_s,
-        }
+) -> tuple:
+    ds = scaled_instance(name, cfg)
+    workloads = make_workloads(ds, cfg)
+    gpu = build_gpu_model(ds, cfg.hw)
+    results = {}
+    for design in _DESIGNS:
+        system = build_eval_system(design, ds, cfg)
+        for w in workloads[: cfg.warmup_batches]:
+            system.sampling_engine.batch_cost(w)
+        results[design] = run_pipeline(
+            system, gpu, workloads[cfg.warmup_batches:],
+            n_batches=n_batches, n_workers=n_workers, mode="event",
+        )
+    reports = energy_comparison(results)
+    return name, {
+        "reports": reports,
+        "energy_saving_vs_mmap": reports["ssd-mmap"].energy_j
+        / reports["smartsage-hwsw"].energy_j,
+        "time_saving_vs_mmap": results["ssd-mmap"].elapsed_s
+        / results["smartsage-hwsw"].elapsed_s,
+    }
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    per_dataset = dict(outputs)
     savings = [v["energy_saving_vs_mmap"] for v in per_dataset.values()]
     times = [v["time_saving_vs_mmap"] for v in per_dataset.values()]
     return {
@@ -64,6 +67,22 @@ def run(
         "avg_energy_saving": geometric_mean(savings),
         "avg_time_saving": geometric_mean(times),
     }
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    datasets=("reddit", "amazon"),
+    n_batches: int = 24,
+    n_workers: int = 12,
+) -> dict:
+    cfg = cfg or ExperimentConfig(n_workloads=8)
+    return _collect(
+        cfg,
+        [
+            _run_dataset(name, cfg, n_batches, n_workers)
+            for name in datasets
+        ],
+    )
 
 
 def render(result: dict) -> str:
@@ -94,6 +113,21 @@ def render(result: dict) -> str:
         )
     )
     return "\n\n".join(chunks)
+
+
+@register_experiment(
+    "energy",
+    figure="Section VI-E",
+    tags=("extension", "energy"),
+    collect=_collect,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One power/energy comparison per evaluated dataset."""
+    return [
+        partial(_run_dataset, name, cfg)
+        for name in ("reddit", "amazon")
+    ]
 
 
 def main() -> None:

@@ -9,8 +9,10 @@ under-predicts (it ignores queueing).  This experiment quantifies both.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import RunRecord, register_experiment
 from repro.experiments.common import (
     ExperimentConfig,
     build_eval_system,
@@ -26,34 +28,50 @@ __all__ = ["run", "render", "main"]
 _DESIGNS = ("ssd-mmap", "smartsage-sw", "smartsage-hwsw")
 
 
+def _run_design(
+    dataset_name: str, design: str, cfg: ExperimentConfig
+) -> tuple:
+    ds = scaled_instance(dataset_name, cfg)
+    workloads = make_workloads(ds, cfg)
+    system = build_eval_system(design, ds, cfg)
+    analytic = steady_state_cost(
+        system.sampling_engine, workloads, cfg.warmup_batches
+    ).total_s
+    event_1w = 1.0 / sampling_throughput(
+        design, ds, workloads, cfg, n_workers=1, n_batches=8
+    )
+    event_8w = 1.0 / sampling_throughput(
+        design, ds, workloads, cfg, n_workers=8, n_batches=24
+    )
+    return design, {
+        "analytic_ms": analytic * 1e3,
+        "event_1w_ms": event_1w * 1e3,
+        "event_8w_interval_ms": event_8w * 1e3,
+        "agreement_1w": event_1w / analytic,
+        # contention factor: how much slower than ideal scaling
+        "contention_8w": (event_8w * 8) / event_1w,
+    }
+
+
+def _collect(
+    cfg: ExperimentConfig, outputs: list, dataset_name: str = "reddit"
+) -> dict:
+    return {"dataset": dataset_name, "designs": dict(outputs)}
+
+
 def run(
     cfg: Optional[ExperimentConfig] = None,
     dataset_name: str = "reddit",
 ) -> dict:
     cfg = cfg or ExperimentConfig(n_workloads=8)
-    ds = scaled_instance(dataset_name, cfg)
-    workloads = make_workloads(ds, cfg)
-    rows = {}
-    for design in _DESIGNS:
-        system = build_eval_system(design, ds, cfg)
-        analytic = steady_state_cost(
-            system.sampling_engine, workloads, cfg.warmup_batches
-        ).total_s
-        event_1w = 1.0 / sampling_throughput(
-            design, ds, workloads, cfg, n_workers=1, n_batches=8
-        )
-        event_8w = 1.0 / sampling_throughput(
-            design, ds, workloads, cfg, n_workers=8, n_batches=24
-        )
-        rows[design] = {
-            "analytic_ms": analytic * 1e3,
-            "event_1w_ms": event_1w * 1e3,
-            "event_8w_interval_ms": event_8w * 1e3,
-            "agreement_1w": event_1w / analytic,
-            # contention factor: how much slower than ideal scaling
-            "contention_8w": (event_8w * 8) / event_1w,
-        }
-    return {"dataset": dataset_name, "designs": rows}
+    return _collect(
+        cfg,
+        [
+            _run_design(dataset_name, design, cfg)
+            for design in _DESIGNS
+        ],
+        dataset_name=dataset_name,
+    )
 
 
 def render(result: dict) -> str:
@@ -72,6 +90,34 @@ def render(result: dict) -> str:
         title=f"Fidelity [{result['dataset']}]: analytic vs event mode "
               "(1w should agree; contention factor >1 under load)",
     )
+
+
+def _records(result: dict) -> list:
+    return [
+        RunRecord(
+            experiment="fidelity",
+            dataset=result["dataset"],
+            design=design,
+            metrics=d,
+        )
+        for design, d in result["designs"].items()
+    ]
+
+
+@register_experiment(
+    "fidelity",
+    figure="Analytic-vs-event validation",
+    tags=("extension", "validation"),
+    collect=_collect,
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One analytic-vs-event fidelity unit per design point."""
+    return [
+        partial(_run_design, "reddit", design, cfg)
+        for design in _DESIGNS
+    ]
 
 
 def main() -> None:

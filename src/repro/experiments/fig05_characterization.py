@@ -11,10 +11,12 @@ proportion to the scaled datasets (DESIGN.md "Calibration").
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
 import numpy as np
 
+from repro.api.experiment import register_experiment
 from repro.config import scaled_hardware
 from repro.experiments.common import (
     EVAL_DATASETS,
@@ -35,34 +37,35 @@ PAPER_AVG_BW = 0.21
 _LLC_BYTES = 2 * 1024 * 1024
 
 
-def run(
-    cfg: Optional[ExperimentConfig] = None,
-    datasets=EVAL_DATASETS,
+def _run_dataset(
+    name: str,
+    cfg: ExperimentConfig,
     n_batches: int = 3,
     workers: int = 12,
-) -> dict:
-    cfg = cfg or ExperimentConfig()
+) -> tuple:
     hw = scaled_hardware(llc_bytes=_LLC_BYTES)
-    per_dataset = {}
-    for name in datasets:
-        ds = scaled_instance(name, cfg, variant=IN_MEMORY)
-        sampler = NeighborSampler(
-            ds.graph, fanouts=cfg.fanouts, record_positions=True
-        )
-        hierarchy = MemoryHierarchy(llc=hw.llc, dram=hw.dram)
-        rng = np.random.default_rng(cfg.seed)
-        miss = bw = 0.0
-        for _ in range(n_batches):
-            seeds = rng.integers(0, ds.num_nodes, size=cfg.batch_size)
-            batch = sampler.sample_batch(seeds, rng)
-            trace = sampling_access_trace(ds.graph, batch)
-            result = hierarchy.characterize(trace, workers=workers)
-            miss += result.llc_miss_rate
-            bw += result.dram_bw_utilization
-        per_dataset[name] = {
-            "llc_miss_rate": miss / n_batches,
-            "dram_bw_utilization": bw / n_batches,
-        }
+    ds = scaled_instance(name, cfg, variant=IN_MEMORY)
+    sampler = NeighborSampler(
+        ds.graph, fanouts=cfg.fanouts, record_positions=True
+    )
+    hierarchy = MemoryHierarchy(llc=hw.llc, dram=hw.dram)
+    rng = np.random.default_rng(cfg.seed)
+    miss = bw = 0.0
+    for _ in range(n_batches):
+        seeds = rng.integers(0, ds.num_nodes, size=cfg.batch_size)
+        batch = sampler.sample_batch(seeds, rng)
+        trace = sampling_access_trace(ds.graph, batch)
+        result = hierarchy.characterize(trace, workers=workers)
+        miss += result.llc_miss_rate
+        bw += result.dram_bw_utilization
+    return name, {
+        "llc_miss_rate": miss / n_batches,
+        "dram_bw_utilization": bw / n_batches,
+    }
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    per_dataset = dict(outputs)
     avg_miss = float(
         np.mean([v["llc_miss_rate"] for v in per_dataset.values()])
     )
@@ -75,6 +78,22 @@ def run(
         "avg_bw_utilization": avg_bw,
         "paper": {"miss": PAPER_AVG_MISS, "bw": PAPER_AVG_BW},
     }
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    datasets=EVAL_DATASETS,
+    n_batches: int = 3,
+    workers: int = 12,
+) -> dict:
+    cfg = cfg or ExperimentConfig()
+    return _collect(
+        cfg,
+        [
+            _run_dataset(name, cfg, n_batches, workers)
+            for name in datasets
+        ],
+    )
 
 
 def render(result: dict) -> str:
@@ -96,6 +115,18 @@ def render(result: dict) -> str:
         title="Fig 5: neighbor sampling memory characterization "
               "(in-memory processing)",
     )
+
+
+@register_experiment(
+    "fig05",
+    figure="Figure 5",
+    tags=("paper", "characterization", "memory"),
+    collect=_collect,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One LLC/DRAM characterization unit per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

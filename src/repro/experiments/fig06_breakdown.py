@@ -7,8 +7,10 @@ system, and neighbor sampling dominates its per-batch latency.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import register_experiment
 from repro.core.systems import build_gpu_model
 from repro.experiments.common import (
     EVAL_DATASETS,
@@ -29,35 +31,36 @@ PAPER_MAX_SLOWDOWN = 19.6
 _DESIGNS = ("dram", "ssd-mmap")
 
 
-def run(
-    cfg: Optional[ExperimentConfig] = None,
-    datasets=EVAL_DATASETS,
+def _run_dataset(
+    name: str,
+    cfg: ExperimentConfig,
     n_batches: int = 30,
     n_workers: int = 12,
-) -> dict:
-    cfg = cfg or ExperimentConfig(n_workloads=8)
-    per_dataset = {}
-    for name in datasets:
-        ds = scaled_instance(name, cfg)
-        workloads = make_workloads(ds, cfg)
-        gpu = build_gpu_model(ds, cfg.hw)
-        designs = {}
-        for design in _DESIGNS:
-            system = build_eval_system(design, ds, cfg)
-            for w in workloads[: cfg.warmup_batches]:
-                system.sampling_engine.batch_cost(w)
-            result = run_pipeline(
-                system, gpu, workloads[cfg.warmup_batches:],
-                n_batches=n_batches, n_workers=n_workers, mode="event",
-            )
-            designs[design] = result
-        slowdown = (
-            designs["ssd-mmap"].elapsed_s / designs["dram"].elapsed_s
+) -> tuple:
+    ds = scaled_instance(name, cfg)
+    workloads = make_workloads(ds, cfg)
+    gpu = build_gpu_model(ds, cfg.hw)
+    designs = {}
+    for design in _DESIGNS:
+        system = build_eval_system(design, ds, cfg)
+        for w in workloads[: cfg.warmup_batches]:
+            system.sampling_engine.batch_cost(w)
+        result = run_pipeline(
+            system, gpu, workloads[cfg.warmup_batches:],
+            n_batches=n_batches, n_workers=n_workers, mode="event",
         )
-        per_dataset[name] = {
-            "results": designs,
-            "slowdown": slowdown,
-        }
+        designs[design] = result
+    slowdown = (
+        designs["ssd-mmap"].elapsed_s / designs["dram"].elapsed_s
+    )
+    return name, {
+        "results": designs,
+        "slowdown": slowdown,
+    }
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    per_dataset = dict(outputs)
     slows = [v["slowdown"] for v in per_dataset.values()]
     return {
         "per_dataset": per_dataset,
@@ -67,6 +70,22 @@ def run(
             "avg": PAPER_AVG_SLOWDOWN, "max": PAPER_MAX_SLOWDOWN,
         },
     }
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    datasets=EVAL_DATASETS,
+    n_batches: int = 30,
+    n_workers: int = 12,
+) -> dict:
+    cfg = cfg or ExperimentConfig(n_workloads=8)
+    return _collect(
+        cfg,
+        [
+            _run_dataset(name, cfg, n_batches, n_workers)
+            for name in datasets
+        ],
+    )
 
 
 def render(result: dict) -> str:
@@ -98,6 +117,18 @@ def render(result: dict) -> str:
         )
     )
     return "\n\n".join(chunks)
+
+
+@register_experiment(
+    "fig06",
+    figure="Figure 6",
+    tags=("paper", "e2e", "breakdown"),
+    collect=_collect,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One DRAM-vs-mmap pipeline unit per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

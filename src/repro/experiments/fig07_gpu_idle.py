@@ -7,8 +7,10 @@ queue and the GPU sits idle for most of the training time.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import RunRecord, register_experiment
 from repro.core.systems import build_gpu_model
 from repro.experiments.common import (
     EVAL_DATASETS,
@@ -24,32 +26,48 @@ __all__ = ["run", "render", "main"]
 _DESIGNS = ("dram", "ssd-mmap")
 
 
+def _run_dataset(
+    name: str,
+    cfg: ExperimentConfig,
+    n_batches: int = 30,
+    n_workers: int = 12,
+) -> tuple:
+    from repro.pipeline import run_pipeline
+
+    ds = scaled_instance(name, cfg)
+    workloads = make_workloads(ds, cfg)
+    gpu = build_gpu_model(ds, cfg.hw)
+    idle = {}
+    for design in _DESIGNS:
+        system = build_eval_system(design, ds, cfg)
+        for w in workloads[: cfg.warmup_batches]:
+            system.sampling_engine.batch_cost(w)
+        result = run_pipeline(
+            system, gpu, workloads[cfg.warmup_batches:],
+            n_batches=n_batches, n_workers=n_workers, mode="event",
+        )
+        idle[design] = result.gpu_idle_fraction
+    return name, idle
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    return {"per_dataset": dict(outputs)}
+
+
 def run(
     cfg: Optional[ExperimentConfig] = None,
     datasets=EVAL_DATASETS,
     n_batches: int = 30,
     n_workers: int = 12,
 ) -> dict:
-    from repro.pipeline import run_pipeline
-
     cfg = cfg or ExperimentConfig(n_workloads=8)
-    per_dataset = {}
-    for name in datasets:
-        ds = scaled_instance(name, cfg)
-        workloads = make_workloads(ds, cfg)
-        gpu = build_gpu_model(ds, cfg.hw)
-        idle = {}
-        for design in _DESIGNS:
-            system = build_eval_system(design, ds, cfg)
-            for w in workloads[: cfg.warmup_batches]:
-                system.sampling_engine.batch_cost(w)
-            result = run_pipeline(
-                system, gpu, workloads[cfg.warmup_batches:],
-                n_batches=n_batches, n_workers=n_workers, mode="event",
-            )
-            idle[design] = result.gpu_idle_fraction
-        per_dataset[name] = idle
-    return {"per_dataset": per_dataset}
+    return _collect(
+        cfg,
+        [
+            _run_dataset(name, cfg, n_batches, n_workers)
+            for name in datasets
+        ],
+    )
 
 
 def render(result: dict) -> str:
@@ -63,6 +81,32 @@ def render(result: dict) -> str:
         rows,
         title="Fig 7: fraction of training time with the GPU idle",
     )
+
+
+def _records(result: dict) -> list:
+    return [
+        RunRecord(
+            experiment="fig07",
+            dataset=name,
+            design=design,
+            metrics={"gpu_idle_fraction": frac},
+        )
+        for name, idle in result["per_dataset"].items()
+        for design, frac in idle.items()
+    ]
+
+
+@register_experiment(
+    "fig07",
+    figure="Figure 7",
+    tags=("paper", "e2e", "gpu"),
+    collect=_collect,
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One GPU-idle measurement unit per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

@@ -7,10 +7,12 @@ densification power law) the expanded graphs have *higher* average degree.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
 import numpy as np
 
+from repro.api.experiment import RunRecord, register_experiment
 from repro.experiments.common import ExperimentConfig, scaled_instance
 from repro.experiments.report import format_table
 from repro.graph.datasets import DATASETS, IN_MEMORY
@@ -35,33 +37,40 @@ FIG13_DATASETS = ("reddit", "protein-pi")
 _SEEDS = {"reddit": (8, 24), "protein-pi": (5, 14)}
 
 
+def _run_dataset(name: str, cfg: ExperimentConfig) -> tuple:
+    base = scaled_instance(name, cfg, variant=IN_MEMORY)
+    node_mult, edge_mult = _SEEDS.get(
+        name, (4, 12)
+    )
+    rng = np.random.default_rng(cfg.seed)
+    seed = seed_graph_for(node_mult, edge_mult, rng)
+    expanded = kronecker_expand(base.graph, seed)
+    return name, {
+        "base": distribution_summary(base.graph),
+        "expanded": distribution_summary(expanded),
+        "factors": expansion_factors(base.graph, expanded),
+        "shape_similarity": shape_similarity(base.graph, expanded),
+        "base_hist": log_binned_histogram(base.graph),
+        "expanded_hist": log_binned_histogram(expanded),
+        "paper_multipliers": (
+            DATASETS[name].node_multiplier,
+            DATASETS[name].edge_multiplier,
+        ),
+    }
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    return {"per_dataset": dict(outputs)}
+
+
 def run(
     cfg: Optional[ExperimentConfig] = None,
     datasets=FIG13_DATASETS,
 ) -> dict:
     cfg = cfg or ExperimentConfig(edge_budget=4e5)
-    per_dataset = {}
-    for name in datasets:
-        base = scaled_instance(name, cfg, variant=IN_MEMORY)
-        node_mult, edge_mult = _SEEDS.get(
-            name, (4, 12)
-        )
-        rng = np.random.default_rng(cfg.seed)
-        seed = seed_graph_for(node_mult, edge_mult, rng)
-        expanded = kronecker_expand(base.graph, seed)
-        per_dataset[name] = {
-            "base": distribution_summary(base.graph),
-            "expanded": distribution_summary(expanded),
-            "factors": expansion_factors(base.graph, expanded),
-            "shape_similarity": shape_similarity(base.graph, expanded),
-            "base_hist": log_binned_histogram(base.graph),
-            "expanded_hist": log_binned_histogram(expanded),
-            "paper_multipliers": (
-                DATASETS[name].node_multiplier,
-                DATASETS[name].edge_multiplier,
-            ),
-        }
-    return {"per_dataset": per_dataset}
+    return _collect(
+        cfg, [_run_dataset(name, cfg) for name in datasets]
+    )
 
 
 def render(result: dict) -> str:
@@ -89,6 +98,39 @@ def render(result: dict) -> str:
         title="Fig 13: Kronecker fractal expansion preserves the "
               "power-law degree shape while densifying",
     )
+
+
+def _records(result: dict) -> list:
+    records = []
+    for name, d in result["per_dataset"].items():
+        records.append(
+            RunRecord(
+                experiment="fig13",
+                dataset=name,
+                metrics={
+                    "base_nodes": d["base"]["nodes"],
+                    "expanded_nodes": d["expanded"]["nodes"],
+                    "base_avg_degree": d["base"]["avg_degree"],
+                    "expanded_avg_degree": d["expanded"]["avg_degree"],
+                    "shape_similarity": d["shape_similarity"],
+                    "densified": float(d["factors"]["densified"]),
+                },
+            )
+        )
+    return records
+
+
+@register_experiment(
+    "fig13",
+    figure="Figure 13",
+    tags=("paper", "datasets", "kronecker"),
+    collect=_collect,
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One fractal-expansion unit per plotted dataset."""
+    return [partial(_run_dataset, name, cfg) for name in FIG13_DATASETS]
 
 
 def main() -> None:

@@ -6,8 +6,10 @@ adding ISP (SmartSAGE HW/SW) reaches 10.1x average (max 12.6x).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import register_experiment
 from repro.experiments.common import (
     EVAL_DATASETS,
     EVAL_DESIGNS,
@@ -23,24 +25,22 @@ __all__ = ["run", "render", "main", "PAPER"]
 PAPER = {"sw_avg": 1.5, "hwsw_avg": 10.1, "hwsw_max": 12.6}
 
 
-def run(
-    cfg: Optional[ExperimentConfig] = None,
-    datasets=EVAL_DATASETS,
-) -> dict:
-    cfg = cfg or ExperimentConfig()
-    per_dataset = {}
-    for name in datasets:
-        session = session_for(scaled_instance(name, cfg), cfg)
-        costs = session.sampling_costs(EVAL_DESIGNS)
-        mmap = costs["ssd-mmap"].total_s
-        per_dataset[name] = {
-            "mmap_ms": mmap * 1e3,
-            "sw_speedup": mmap / costs["smartsage-sw"].total_s,
-            "hwsw_speedup": mmap / costs["smartsage-hwsw"].total_s,
-            "mmap_bytes": costs["ssd-mmap"].bytes_from_ssd,
-            "sw_bytes": costs["smartsage-sw"].bytes_from_ssd,
-            "hwsw_bytes": costs["smartsage-hwsw"].bytes_from_ssd,
-        }
+def _run_dataset(name: str, cfg: ExperimentConfig) -> tuple:
+    session = session_for(scaled_instance(name, cfg), cfg)
+    costs = session.sampling_costs(EVAL_DESIGNS)
+    mmap = costs["ssd-mmap"].total_s
+    return name, {
+        "mmap_ms": mmap * 1e3,
+        "sw_speedup": mmap / costs["smartsage-sw"].total_s,
+        "hwsw_speedup": mmap / costs["smartsage-hwsw"].total_s,
+        "mmap_bytes": costs["ssd-mmap"].bytes_from_ssd,
+        "sw_bytes": costs["smartsage-sw"].bytes_from_ssd,
+        "hwsw_bytes": costs["smartsage-hwsw"].bytes_from_ssd,
+    }
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    per_dataset = dict(outputs)
     sw = [v["sw_speedup"] for v in per_dataset.values()]
     hwsw = [v["hwsw_speedup"] for v in per_dataset.values()]
     # Compare against the *minimal* host-path transfer (direct I/O reads
@@ -57,6 +57,16 @@ def run(
         "data_movement_reduction_avg": geometric_mean(movement),
         "paper": PAPER,
     }
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    datasets=EVAL_DATASETS,
+) -> dict:
+    cfg = cfg or ExperimentConfig()
+    return _collect(
+        cfg, [_run_dataset(name, cfg) for name in datasets]
+    )
 
 
 def render(result: dict) -> str:
@@ -83,6 +93,18 @@ def render(result: dict) -> str:
         ],
     )
     return chart + "\n\n" + summary
+
+
+@register_experiment(
+    "fig14",
+    figure="Figure 14",
+    tags=("paper", "sampling", "speedup"),
+    collect=_collect,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One single-worker sampling-cost unit per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

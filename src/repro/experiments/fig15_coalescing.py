@@ -9,8 +9,10 @@ The repo's scaled batches use proportionally scaled granularities.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
+from repro.api.experiment import RunRecord, register_experiment
 from repro.experiments.common import (
     EVAL_DATASETS,
     ExperimentConfig,
@@ -36,34 +38,44 @@ def granularities_for(batch_size: int) -> Sequence[int]:
     return [g for g in out if not (g in seen or seen.add(g))]
 
 
+def _run_dataset(name: str, cfg: ExperimentConfig) -> tuple:
+    grans = granularities_for(cfg.batch_size)
+    ds = scaled_instance(name, cfg)
+    workloads = make_workloads(ds, cfg)
+    times = {}
+    for g in grans:
+        system = build_eval_system(
+            "smartsage-hwsw", ds, cfg, granularity=g
+        )
+        times[g] = steady_state_cost(
+            system.sampling_engine, workloads,
+            warmup=cfg.warmup_batches,
+        ).total_s
+    full = times[grans[0]]
+    return name, {
+        "granularities": grans,
+        "relative_performance": {
+            g: full / t for g, t in times.items()
+        },
+        "batch_ms": {g: t * 1e3 for g, t in times.items()},
+    }
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    return {
+        "per_dataset": dict(outputs),
+        "granularities": granularities_for(cfg.batch_size),
+    }
+
+
 def run(
     cfg: Optional[ExperimentConfig] = None,
     datasets=EVAL_DATASETS,
 ) -> dict:
     cfg = cfg or ExperimentConfig()
-    grans = granularities_for(cfg.batch_size)
-    per_dataset = {}
-    for name in datasets:
-        ds = scaled_instance(name, cfg)
-        workloads = make_workloads(ds, cfg)
-        times = {}
-        for g in grans:
-            system = build_eval_system(
-                "smartsage-hwsw", ds, cfg, granularity=g
-            )
-            times[g] = steady_state_cost(
-                system.sampling_engine, workloads,
-                warmup=cfg.warmup_batches,
-            ).total_s
-        full = times[grans[0]]
-        per_dataset[name] = {
-            "granularities": grans,
-            "relative_performance": {
-                g: full / t for g, t in times.items()
-            },
-            "batch_ms": {g: t * 1e3 for g, t in times.items()},
-        }
-    return {"per_dataset": per_dataset, "granularities": grans}
+    return _collect(
+        cfg, [_run_dataset(name, cfg) for name in datasets]
+    )
 
 
 def render(result: dict) -> str:
@@ -94,6 +106,36 @@ def render(result: dict) -> str:
         )
     )
     return "\n\n".join(chunks)
+
+
+def _records(result: dict) -> list:
+    return [
+        RunRecord(
+            experiment="fig15",
+            dataset=name,
+            design="smartsage-hwsw",
+            params={"granularity": g},
+            metrics={
+                "relative_performance": d["relative_performance"][g],
+                "batch_ms": d["batch_ms"][g],
+            },
+        )
+        for name, d in result["per_dataset"].items()
+        for g in d["granularities"]
+    ]
+
+
+@register_experiment(
+    "fig15",
+    figure="Figure 15",
+    tags=("paper", "sampling", "coalescing"),
+    collect=_collect,
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One granularity-sweep unit per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

@@ -7,8 +7,10 @@ the single-worker 10.1x because the wimpy embedded cores saturate.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import register_experiment
 from repro.experiments.common import (
     EVAL_DATASETS,
     EVAL_DESIGNS,
@@ -25,28 +27,31 @@ __all__ = ["run", "render", "main", "PAPER"]
 PAPER = {"hwsw_avg": 4.4, "hwsw_max": 5.5, "sw_avg": 2.9}
 
 
-def run(
-    cfg: Optional[ExperimentConfig] = None,
-    datasets=EVAL_DATASETS,
+def _run_dataset(
+    name: str,
+    cfg: ExperimentConfig,
     n_workers: int = 12,
     n_batches: int = 36,
+) -> tuple:
+    ds = scaled_instance(name, cfg)
+    workloads = make_workloads(ds, cfg)
+    tput = {
+        design: sampling_throughput(
+            design, ds, workloads, cfg, n_workers, n_batches
+        )
+        for design in EVAL_DESIGNS
+    }
+    return name, {
+        "throughput": tput,
+        "sw_speedup": tput["smartsage-sw"] / tput["ssd-mmap"],
+        "hwsw_speedup": tput["smartsage-hwsw"] / tput["ssd-mmap"],
+    }
+
+
+def _collect(
+    cfg: ExperimentConfig, outputs: list, n_workers: int = 12
 ) -> dict:
-    cfg = cfg or ExperimentConfig(n_workloads=8)
-    per_dataset = {}
-    for name in datasets:
-        ds = scaled_instance(name, cfg)
-        workloads = make_workloads(ds, cfg)
-        tput = {
-            design: sampling_throughput(
-                design, ds, workloads, cfg, n_workers, n_batches
-            )
-            for design in EVAL_DESIGNS
-        }
-        per_dataset[name] = {
-            "throughput": tput,
-            "sw_speedup": tput["smartsage-sw"] / tput["ssd-mmap"],
-            "hwsw_speedup": tput["smartsage-hwsw"] / tput["ssd-mmap"],
-        }
+    per_dataset = dict(outputs)
     sw = [v["sw_speedup"] for v in per_dataset.values()]
     hwsw = [v["hwsw_speedup"] for v in per_dataset.values()]
     return {
@@ -57,6 +62,23 @@ def run(
         "n_workers": n_workers,
         "paper": PAPER,
     }
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    datasets=EVAL_DATASETS,
+    n_workers: int = 12,
+    n_batches: int = 36,
+) -> dict:
+    cfg = cfg or ExperimentConfig(n_workloads=8)
+    return _collect(
+        cfg,
+        [
+            _run_dataset(name, cfg, n_workers, n_batches)
+            for name in datasets
+        ],
+        n_workers=n_workers,
+    )
 
 
 def render(result: dict) -> str:
@@ -82,6 +104,18 @@ def render(result: dict) -> str:
         ],
     )
     return chart + "\n\n" + summary
+
+
+@register_experiment(
+    "fig16",
+    figure="Figure 16",
+    tags=("paper", "sampling", "speedup", "multi-worker"),
+    collect=_collect,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One 12-worker throughput unit per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

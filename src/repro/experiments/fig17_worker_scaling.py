@@ -7,8 +7,10 @@ the base firmware and saturate, while the host path keeps scaling longer.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
+from repro.api.experiment import RunRecord, register_experiment
 from repro.experiments.common import (
     EVAL_DATASETS,
     ExperimentConfig,
@@ -22,30 +24,50 @@ __all__ = ["run", "render", "main", "WORKER_COUNTS"]
 WORKER_COUNTS = (1, 2, 4, 8, 12)
 
 
+def _run_dataset(
+    name: str,
+    cfg: ExperimentConfig,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+) -> tuple:
+    session = session_for(scaled_instance(name, cfg), cfg)
+    speedups = {}
+    for workers in worker_counts:
+        batches = max(8, 3 * workers)
+        hwsw = session.sampling_throughput(
+            "smartsage-hwsw", n_workers=workers, n_batches=batches
+        )
+        sw = session.sampling_throughput(
+            "smartsage-sw", n_workers=workers, n_batches=batches
+        )
+        speedups[workers] = hwsw / sw
+    return name, speedups
+
+
+def _collect(
+    cfg: ExperimentConfig,
+    outputs: list,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+) -> dict:
+    return {
+        "per_dataset": dict(outputs),
+        "worker_counts": tuple(worker_counts),
+    }
+
+
 def run(
     cfg: Optional[ExperimentConfig] = None,
     datasets=EVAL_DATASETS,
     worker_counts: Sequence[int] = WORKER_COUNTS,
 ) -> dict:
     cfg = cfg or ExperimentConfig(n_workloads=8)
-    per_dataset = {}
-    for name in datasets:
-        session = session_for(scaled_instance(name, cfg), cfg)
-        speedups = {}
-        for workers in worker_counts:
-            batches = max(8, 3 * workers)
-            hwsw = session.sampling_throughput(
-                "smartsage-hwsw", n_workers=workers, n_batches=batches
-            )
-            sw = session.sampling_throughput(
-                "smartsage-sw", n_workers=workers, n_batches=batches
-            )
-            speedups[workers] = hwsw / sw
-        per_dataset[name] = speedups
-    return {
-        "per_dataset": per_dataset,
-        "worker_counts": tuple(worker_counts),
-    }
+    return _collect(
+        cfg,
+        [
+            _run_dataset(name, cfg, worker_counts)
+            for name in datasets
+        ],
+        worker_counts=worker_counts,
+    )
 
 
 def render(result: dict) -> str:
@@ -77,6 +99,32 @@ def render(result: dict) -> str:
         else "\nWARNING: expected declining trend not observed!"
     )
     return table + note
+
+
+def _records(result: dict) -> list:
+    return [
+        RunRecord(
+            experiment="fig17",
+            dataset=name,
+            params={"n_workers": workers},
+            metrics={"hwsw_over_sw_speedup": speedup},
+        )
+        for name, speedups in result["per_dataset"].items()
+        for workers, speedup in speedups.items()
+    ]
+
+
+@register_experiment(
+    "fig17",
+    figure="Figure 17",
+    tags=("paper", "sampling", "multi-worker", "scaling"),
+    collect=_collect,
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One worker-scaling sweep unit per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

@@ -9,8 +9,14 @@ reaches ~70% of DRAM and ~90% of PMEM performance.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import (
+    RunRecord,
+    numeric_metrics,
+    register_experiment,
+)
 from repro.experiments.common import (
     EVAL_DATASETS,
     ExperimentConfig,
@@ -37,35 +43,36 @@ FIG18_DESIGNS = (
 )
 
 
-def run(
-    cfg: Optional[ExperimentConfig] = None,
-    datasets=EVAL_DATASETS,
+def _run_dataset(
+    name: str,
+    cfg: ExperimentConfig,
     n_batches: int = 30,
     n_workers: int = 12,
-) -> dict:
-    cfg = cfg or ExperimentConfig(n_workloads=8)
-    per_dataset = {}
-    for name in datasets:
-        session = session_for(
-            scaled_instance(name, cfg), cfg,
-            mode="event", n_batches=n_batches, n_workers=n_workers,
-        )
-        cmp = session.compare(list(FIG18_DESIGNS), baseline="ssd-mmap")
-        results = cmp.results
-        elapsed = {d: r.elapsed_s for d, r in results.items()}
-        per_dataset[name] = {
-            "results": results,
-            "elapsed": elapsed,
-            "hwsw_vs_mmap": cmp.speedup("smartsage-hwsw"),
-            "sw_vs_mmap": cmp.speedup("smartsage-sw"),
-            "pmem_vs_dram": elapsed["pmem"] / elapsed["dram"],
-            "oracle_frac_of_dram": cmp.speedup(
-                "smartsage-oracle", baseline="dram"
-            ),
-            "oracle_frac_of_pmem": cmp.speedup(
-                "smartsage-oracle", baseline="pmem"
-            ),
-        }
+) -> tuple:
+    session = session_for(
+        scaled_instance(name, cfg), cfg,
+        mode="event", n_batches=n_batches, n_workers=n_workers,
+    )
+    cmp = session.compare(list(FIG18_DESIGNS), baseline="ssd-mmap")
+    results = cmp.results
+    elapsed = {d: r.elapsed_s for d, r in results.items()}
+    return name, {
+        "results": results,
+        "elapsed": elapsed,
+        "hwsw_vs_mmap": cmp.speedup("smartsage-hwsw"),
+        "sw_vs_mmap": cmp.speedup("smartsage-sw"),
+        "pmem_vs_dram": elapsed["pmem"] / elapsed["dram"],
+        "oracle_frac_of_dram": cmp.speedup(
+            "smartsage-oracle", baseline="dram"
+        ),
+        "oracle_frac_of_pmem": cmp.speedup(
+            "smartsage-oracle", baseline="pmem"
+        ),
+    }
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    per_dataset = dict(outputs)
     hwsw = [v["hwsw_vs_mmap"] for v in per_dataset.values()]
     sw = [v["sw_vs_mmap"] for v in per_dataset.values()]
     return {
@@ -84,6 +91,22 @@ def run(
         ),
         "paper": PAPER,
     }
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    datasets=EVAL_DATASETS,
+    n_batches: int = 30,
+    n_workers: int = 12,
+) -> dict:
+    cfg = cfg or ExperimentConfig(n_workloads=8)
+    return _collect(
+        cfg,
+        [
+            _run_dataset(name, cfg, n_batches, n_workers)
+            for name in datasets
+        ],
+    )
 
 
 def render(result: dict) -> str:
@@ -126,6 +149,44 @@ def render(result: dict) -> str:
         )
     )
     return "\n\n".join(chunks)
+
+
+def _records(result: dict) -> list:
+    records = []
+    for name, data in result["per_dataset"].items():
+        for design, elapsed_s in data["elapsed"].items():
+            records.append(
+                RunRecord(
+                    experiment="fig18",
+                    dataset=name,
+                    design=design,
+                    metrics={"elapsed_s": elapsed_s},
+                )
+            )
+        records.append(
+            RunRecord(
+                experiment="fig18",
+                dataset=name,
+                metrics=numeric_metrics(data),
+            )
+        )
+    records.append(
+        RunRecord(experiment="fig18", metrics=numeric_metrics(result))
+    )
+    return records
+
+
+@register_experiment(
+    "fig18",
+    figure="Figure 18",
+    tags=("paper", "e2e", "speedup"),
+    collect=_collect,
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One all-designs pipeline comparison per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

@@ -8,8 +8,10 @@ for host I/O latency) and the walk subgraph is small (cheap ISP output).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import register_experiment
 from repro.core.systems import build_gpu_model
 from repro.experiments.common import (
     EVAL_DATASETS,
@@ -29,6 +31,42 @@ PAPER_AVG_SPEEDUP = 8.2
 _DESIGNS = ("ssd-mmap", "smartsage-sw", "smartsage-hwsw")
 
 
+def _run_dataset(
+    name: str,
+    cfg: ExperimentConfig,
+    n_batches: int = 30,
+    n_workers: int = 12,
+) -> tuple:
+    ds = scaled_instance(name, cfg)
+    workloads = make_workloads(ds, cfg, sampler_kind="saint")
+    gpu = build_gpu_model(ds, cfg.hw)
+    elapsed = {}
+    for design in _DESIGNS:
+        system = build_eval_system(design, ds, cfg)
+        for w in workloads[: cfg.warmup_batches]:
+            system.sampling_engine.batch_cost(w)
+        elapsed[design] = run_pipeline(
+            system, gpu, workloads[cfg.warmup_batches:],
+            n_batches=n_batches, n_workers=n_workers, mode="event",
+        ).elapsed_s
+    return name, {
+        "elapsed": elapsed,
+        "hwsw_speedup": elapsed["ssd-mmap"]
+        / elapsed["smartsage-hwsw"],
+        "sw_speedup": elapsed["ssd-mmap"] / elapsed["smartsage-sw"],
+    }
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    per_dataset = dict(outputs)
+    speedups = [v["hwsw_speedup"] for v in per_dataset.values()]
+    return {
+        "per_dataset": per_dataset,
+        "hwsw_avg_speedup": geometric_mean(speedups),
+        "paper_avg": PAPER_AVG_SPEEDUP,
+    }
+
+
 def run(
     cfg: Optional[ExperimentConfig] = None,
     datasets=EVAL_DATASETS,
@@ -36,32 +74,13 @@ def run(
     n_workers: int = 12,
 ) -> dict:
     cfg = cfg or ExperimentConfig(n_workloads=8)
-    per_dataset = {}
-    for name in datasets:
-        ds = scaled_instance(name, cfg)
-        workloads = make_workloads(ds, cfg, sampler_kind="saint")
-        gpu = build_gpu_model(ds, cfg.hw)
-        elapsed = {}
-        for design in _DESIGNS:
-            system = build_eval_system(design, ds, cfg)
-            for w in workloads[: cfg.warmup_batches]:
-                system.sampling_engine.batch_cost(w)
-            elapsed[design] = run_pipeline(
-                system, gpu, workloads[cfg.warmup_batches:],
-                n_batches=n_batches, n_workers=n_workers, mode="event",
-            ).elapsed_s
-        per_dataset[name] = {
-            "elapsed": elapsed,
-            "hwsw_speedup": elapsed["ssd-mmap"]
-            / elapsed["smartsage-hwsw"],
-            "sw_speedup": elapsed["ssd-mmap"] / elapsed["smartsage-sw"],
-        }
-    speedups = [v["hwsw_speedup"] for v in per_dataset.values()]
-    return {
-        "per_dataset": per_dataset,
-        "hwsw_avg_speedup": geometric_mean(speedups),
-        "paper_avg": PAPER_AVG_SPEEDUP,
-    }
+    return _collect(
+        cfg,
+        [
+            _run_dataset(name, cfg, n_batches, n_workers)
+            for name in datasets
+        ],
+    )
 
 
 def render(result: dict) -> str:
@@ -81,6 +100,18 @@ def render(result: dict) -> str:
           f"{PAPER_AVG_SPEEDUP}x"]],
     )
     return chart + "\n\n" + summary
+
+
+@register_experiment(
+    "fig20",
+    figure="Figure 20",
+    tags=("paper", "e2e", "graphsaint"),
+    collect=_collect,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One GraphSAINT pipeline comparison per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

@@ -7,8 +7,10 @@ halving it grows the speedup.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import RunRecord, register_experiment
 from repro.experiments.common import (
     EVAL_DATASETS,
     EVAL_DESIGNS,
@@ -28,31 +30,38 @@ def _scaled_fanouts(fanouts, scale):
     return tuple(max(1, int(round(f * scale))) for f in fanouts)
 
 
+def _run_dataset(name: str, cfg: ExperimentConfig) -> tuple:
+    ds = scaled_instance(name, cfg)
+    speedups = {}
+    for scale in RATE_SCALES:
+        rate_cfg = cfg.replace(
+            fanouts=_scaled_fanouts(cfg.fanouts, scale)
+        )
+        workloads = make_workloads(ds, rate_cfg)
+        costs = design_sweep(
+            ds, EVAL_DESIGNS, workloads, rate_cfg
+        )
+        speedups[scale] = {
+            "sw": costs["ssd-mmap"].total_s
+            / costs["smartsage-sw"].total_s,
+            "hwsw": costs["ssd-mmap"].total_s
+            / costs["smartsage-hwsw"].total_s,
+        }
+    return name, speedups
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    return {"per_dataset": dict(outputs), "rate_scales": RATE_SCALES}
+
+
 def run(
     cfg: Optional[ExperimentConfig] = None,
     datasets=EVAL_DATASETS,
 ) -> dict:
     cfg = cfg or ExperimentConfig()
-    per_dataset = {}
-    for name in datasets:
-        ds = scaled_instance(name, cfg)
-        speedups = {}
-        for scale in RATE_SCALES:
-            rate_cfg = cfg.replace(
-                fanouts=_scaled_fanouts(cfg.fanouts, scale)
-            )
-            workloads = make_workloads(ds, rate_cfg)
-            costs = design_sweep(
-                ds, EVAL_DESIGNS, workloads, rate_cfg
-            )
-            speedups[scale] = {
-                "sw": costs["ssd-mmap"].total_s
-                / costs["smartsage-sw"].total_s,
-                "hwsw": costs["ssd-mmap"].total_s
-                / costs["smartsage-hwsw"].total_s,
-            }
-        per_dataset[name] = speedups
-    return {"per_dataset": per_dataset, "rate_scales": RATE_SCALES}
+    return _collect(
+        cfg, [_run_dataset(name, cfg) for name in datasets]
+    )
 
 
 def render(result: dict) -> str:
@@ -78,6 +87,35 @@ def render(result: dict) -> str:
         else "\nWARNING: expected monotone trend not observed!"
     )
     return table + note
+
+
+def _records(result: dict) -> list:
+    return [
+        RunRecord(
+            experiment="fig21",
+            dataset=name,
+            params={"rate_scale": scale},
+            metrics={
+                "sw_speedup": d["sw"],
+                "hwsw_speedup": d["hwsw"],
+            },
+        )
+        for name, speedups in result["per_dataset"].items()
+        for scale, d in speedups.items()
+    ]
+
+
+@register_experiment(
+    "fig21",
+    figure="Figure 21",
+    tags=("paper", "sampling", "sensitivity"),
+    collect=_collect,
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One sampling-rate sweep unit per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

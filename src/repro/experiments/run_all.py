@@ -1,62 +1,149 @@
-"""Run every figure/table experiment and print the full report.
+"""Run the experiment suite as a campaign and print the full report.
 
 Usage::
 
-    python -m repro.experiments.run_all            # default scale
-    python -m repro.experiments.run_all --quick    # reduced scale
+    python -m repro.experiments.run_all              # default scale
+    python -m repro.experiments.run_all --quick      # reduced scale
+    python -m repro.experiments.run_all --jobs 4     # parallel units
+    python -m repro.experiments.run_all --out DIR    # JSON/CSV artifacts
+    python -m repro.experiments.run_all --json       # machine-readable
+    python -m repro.experiments.run_all --only paper --skip e2e
+
+This is a thin wrapper over :class:`repro.api.campaign.Campaign`: the
+suite shares one content-addressed dataset/workload cache, units run on
+a ``--jobs``-wide thread pool, and a failing experiment is reported
+(with its traceback) without stopping the rest.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.common import ExperimentConfig
 
-__all__ = ["main"]
+__all__ = ["main", "ORDER"]
 
-#: run order (table first, then figures in paper order, calibration last)
+#: run order (table first, then figures in paper order, calibration and
+#: the extension experiments last)
 ORDER = (
     "table1", "fig05", "fig06", "fig07", "fig13", "fig14", "fig15",
     "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "calibration",
+    "energy", "batch-sensitivity", "ablations", "fidelity",
+    "cache-sensitivity", "depth-sensitivity",
 )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.run_all",
+        description="run every registered experiment as one campaign",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale (faster, compressed ratios)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker threads for experiment units (default: 1)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable campaign summary instead of text",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write manifest.json + per-experiment JSON/CSV/text here",
+    )
+    parser.add_argument(
+        "--only", metavar="TAGS", default=None,
+        help="comma-separated tags; run only experiments carrying one",
+    )
+    parser.add_argument(
+        "--skip", metavar="TAGS", default=None,
+        help="comma-separated tags; skip experiments carrying one",
+    )
+    return parser
+
+
+def _split_tags(blob) -> tuple:
+    if not blob:
+        return ()
+    return tuple(t.strip() for t in blob.split(",") if t.strip())
+
+
+def _entry_for(name: str, module):
+    """Registry entry for ``name`` -- unless ``module`` was swapped in.
+
+    ``ALL_EXPERIMENTS`` is a plain mapping precisely so tests (and
+    ad-hoc callers) can substitute module-like objects; a substituted
+    object is adapted through :meth:`ExperimentEntry.from_module`
+    instead of using the stale registration.
+    """
+    from repro.api.experiment import ExperimentEntry, experiment_entry
+    from repro.errors import ConfigError
+
+    try:
+        entry = experiment_entry(name)
+    except ConfigError:
+        return ExperimentEntry.from_module(name, module)
+    if sys.modules.get(entry.plan.__module__) is not module:
+        return ExperimentEntry.from_module(name, module)
+    return entry
 
 
 def main(argv=None) -> int:
     """Run every experiment; return the number of failures (0 = success)."""
-    argv = argv if argv is not None else sys.argv[1:]
-    if "--quick" in argv:
+    args = _build_parser().parse_args(
+        argv if argv is not None else sys.argv[1:]
+    )
+    from repro.api.campaign import Campaign
+
+    if args.quick:
         cfg = ExperimentConfig(
             edge_budget=3e5, batch_size=48, n_workloads=6
         )
     else:
         cfg = ExperimentConfig(n_workloads=8)
+    entries = [
+        _entry_for(name, ALL_EXPERIMENTS[name]) for name in ORDER
+    ]
+    campaign = Campaign(
+        experiments=entries,
+        cfg=cfg,
+        jobs=args.jobs,
+        out_dir=args.out,
+        only_tags=_split_tags(args.only),
+        skip_tags=_split_tags(args.skip),
+    )
     total_start = time.time()
-    failures = []
-    for name in ORDER:
-        module = ALL_EXPERIMENTS[name]
-        start = time.time()
-        try:
-            result = module.run(cfg)
-            rendered = module.render(result)
-        except Exception as exc:  # keep going; report at the end
-            failures.append(name)
-            print("=" * 72)
-            print(f"{name}  FAILED: {exc!r}")
-            print("=" * 72)
-            print()
-            continue
-        elapsed = time.time() - start
+
+    def on_result(outcome) -> None:
+        if args.json:
+            return
         print("=" * 72)
-        print(f"{name}  ({elapsed:.1f}s)")
-        print("=" * 72)
-        print(rendered)
+        if outcome.ok:
+            print(f"{outcome.name}  ({outcome.elapsed_s:.1f}s)")
+            print("=" * 72)
+            print(outcome.rendered or "(no rendering)")
+        else:
+            print(f"{outcome.name}  FAILED: {outcome.error}")
+            print("=" * 72)
+            if outcome.traceback:
+                print(outcome.traceback, end="")
         print()
-    print(f"total: {time.time() - total_start:.1f}s")
-    if failures:
-        print(f"FAILED: {', '.join(failures)}", file=sys.stderr)
-    return len(failures)
+
+    result = campaign.run(on_result=on_result)
+    if args.json:
+        print(json.dumps(result.to_json_obj(), indent=2))
+    else:
+        print(f"total: {time.time() - total_start:.1f}s")
+    if result.failures:
+        print(f"FAILED: {', '.join(result.failures)}", file=sys.stderr)
+    return result.n_failures
 
 
 if __name__ == "__main__":

@@ -9,8 +9,10 @@ mini-batch size should stay roughly flat.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import RunRecord, register_experiment
 from repro.experiments.common import (
     EVAL_DATASETS,
     EVAL_DESIGNS,
@@ -26,26 +28,24 @@ __all__ = ["run", "render", "main", "BATCH_SCALES"]
 BATCH_SCALES = (0.5, 1.0, 2.0)
 
 
-def run(
-    cfg: Optional[ExperimentConfig] = None,
-    datasets=EVAL_DATASETS,
-) -> dict:
-    cfg = cfg or ExperimentConfig()
-    per_dataset = {}
-    for name in datasets:
-        ds = scaled_instance(name, cfg)
-        speedups = {}
-        for scale in BATCH_SCALES:
-            batch_cfg = cfg.replace(
-                batch_size=max(8, int(round(cfg.batch_size * scale)))
-            )
-            workloads = make_workloads(ds, batch_cfg)
-            costs = design_sweep(ds, EVAL_DESIGNS, workloads, batch_cfg)
-            speedups[scale] = (
-                costs["ssd-mmap"].total_s
-                / costs["smartsage-hwsw"].total_s
-            )
-        per_dataset[name] = speedups
+def _run_dataset(name: str, cfg: ExperimentConfig) -> tuple:
+    ds = scaled_instance(name, cfg)
+    speedups = {}
+    for scale in BATCH_SCALES:
+        batch_cfg = cfg.replace(
+            batch_size=max(8, int(round(cfg.batch_size * scale)))
+        )
+        workloads = make_workloads(ds, batch_cfg)
+        costs = design_sweep(ds, EVAL_DESIGNS, workloads, batch_cfg)
+        speedups[scale] = (
+            costs["ssd-mmap"].total_s
+            / costs["smartsage-hwsw"].total_s
+        )
+    return name, speedups
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    per_dataset = dict(outputs)
     # "little effect": max/min spread of the speedup across batch sizes
     spreads = {
         name: max(s.values()) / min(s.values())
@@ -56,6 +56,16 @@ def run(
         "spreads": spreads,
         "max_spread": max(spreads.values()),
     }
+
+
+def run(
+    cfg: Optional[ExperimentConfig] = None,
+    datasets=EVAL_DATASETS,
+) -> dict:
+    cfg = cfg or ExperimentConfig()
+    return _collect(
+        cfg, [_run_dataset(name, cfg) for name in datasets]
+    )
 
 
 def render(result: dict) -> str:
@@ -80,6 +90,40 @@ def render(result: dict) -> str:
         else "\nWARNING: speedup is batch-size sensitive here!"
     )
     return table + note
+
+
+def _records(result: dict) -> list:
+    records = [
+        RunRecord(
+            experiment="batch-sensitivity",
+            dataset=name,
+            design="smartsage-hwsw",
+            params={"batch_scale": scale},
+            metrics={"hwsw_speedup": speedup},
+        )
+        for name, speedups in result["per_dataset"].items()
+        for scale, speedup in speedups.items()
+    ]
+    records.append(
+        RunRecord(
+            experiment="batch-sensitivity",
+            metrics={"max_spread": result["max_spread"]},
+        )
+    )
+    return records
+
+
+@register_experiment(
+    "batch-sensitivity",
+    figure="Section VI-F (omitted figure)",
+    tags=("extension", "sensitivity"),
+    collect=_collect,
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One batch-size sweep unit per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

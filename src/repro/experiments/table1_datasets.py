@@ -7,8 +7,10 @@ degree, proportional node counts).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.api.experiment import register_experiment, standard_records
 from repro.experiments.common import (
     EVAL_DATASETS,
     ExperimentConfig,
@@ -20,23 +22,30 @@ from repro.graph.datasets import IN_MEMORY, LARGE_SCALE, table1_rows
 __all__ = ["run", "render", "main"]
 
 
+def _run_dataset(name: str, cfg: ExperimentConfig) -> tuple:
+    inmem = scaled_instance(name, cfg, variant=IN_MEMORY)
+    large = scaled_instance(name, cfg, variant=LARGE_SCALE)
+    return name, {
+        "inmem_nodes": inmem.num_nodes,
+        "inmem_edges": inmem.num_edges,
+        "inmem_avg_degree": inmem.graph.average_degree,
+        "large_nodes": large.num_nodes,
+        "large_edges": large.num_edges,
+        "large_avg_degree": large.graph.average_degree,
+        "large_edge_list_mb": large.edge_list_bytes() / 2 ** 20,
+    }
+
+
+def _collect(cfg: ExperimentConfig, outputs: list) -> dict:
+    paper = {row["dataset"]: row for row in table1_rows()}
+    return {"paper": paper, "instances": dict(outputs), "cfg": cfg}
+
+
 def run(cfg: Optional[ExperimentConfig] = None) -> dict:
     cfg = cfg or ExperimentConfig()
-    paper = {row["dataset"]: row for row in table1_rows()}
-    instances = {}
-    for name in EVAL_DATASETS:
-        inmem = scaled_instance(name, cfg, variant=IN_MEMORY)
-        large = scaled_instance(name, cfg, variant=LARGE_SCALE)
-        instances[name] = {
-            "inmem_nodes": inmem.num_nodes,
-            "inmem_edges": inmem.num_edges,
-            "inmem_avg_degree": inmem.graph.average_degree,
-            "large_nodes": large.num_nodes,
-            "large_edges": large.num_edges,
-            "large_avg_degree": large.graph.average_degree,
-            "large_edge_list_mb": large.edge_list_bytes() / 2 ** 20,
-        }
-    return {"paper": paper, "instances": instances, "cfg": cfg}
+    return _collect(
+        cfg, [_run_dataset(name, cfg) for name in EVAL_DATASETS]
+    )
 
 
 def render(result: dict) -> str:
@@ -65,6 +74,25 @@ def render(result: dict) -> str:
         rows,
         title="Table I: dataset information (paper stats vs scaled instances)",
     )
+
+
+def _records(result: dict) -> list:
+    return standard_records(
+        "table1", result, per_dataset_key="instances"
+    )
+
+
+@register_experiment(
+    "table1",
+    figure="Table I",
+    tags=("paper", "datasets"),
+    collect=_collect,
+    records=_records,
+    render=render,
+)
+def _plan(cfg: ExperimentConfig) -> list:
+    """One dataset-scaling unit per Table I dataset."""
+    return [partial(_run_dataset, name, cfg) for name in EVAL_DATASETS]
 
 
 def main() -> None:

@@ -18,6 +18,7 @@ that preserve what drives the system behaviour:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -130,7 +131,15 @@ def _check_variant(variant: str) -> None:
 
 
 def _dataset_seed(name: str, variant: str, seed: int) -> int:
-    return abs(hash((name, variant, seed))) % (2 ** 31)
+    """Stable per-(dataset, variant, seed) RNG seed.
+
+    Uses a content digest rather than ``hash()``, which is randomized
+    per process for strings -- the same spec must materialize the same
+    graph in every process so campaign artifacts are reproducible.
+    """
+    blob = f"{name}\x00{variant}\x00{seed}".encode()
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:4], "little") % (2 ** 31)
 
 
 @dataclass
