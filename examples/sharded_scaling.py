@@ -1,0 +1,73 @@
+"""Sharded scale-out: partition the graph across K device groups.
+
+Beyond the paper's single CSD: shard Reddit's edge list across K
+shard-local SSDs (``mode="sharded"``), give each shard its own producer
+group and GPU consumer, and watch end-to-end throughput scale
+sub-linearly -- the edge-cut fraction approaches ``1 - 1/K``, so an
+ever-growing share of sampled neighbor lists and feature rows are
+remote PCIe reads.  Also contrasts the prefetch window of the ``async``
+backend and shows the partitioner's own accounting.
+
+Run:  python examples/sharded_scaling.py
+"""
+
+from repro import RunSpec, Session, SystemSpec
+from repro.graph.partition import partition_graph
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def main() -> None:
+    spec = RunSpec(
+        dataset="reddit",
+        edge_budget=1e6,
+        batch_size=96,
+        n_workloads=8,
+        mode="sharded",
+        n_batches=24,
+        n_workers=4,
+        system=SystemSpec(design="smartsage-sharded",
+                          partition="edge-cut"),
+    )
+    session = Session.from_spec(spec)
+    print(f"dataset: {session.dataset}\n")
+
+    print("1) partition quality (edge-cut vs degree-balanced, K=4)")
+    for method in ("edge-cut", "degree-balanced"):
+        part = partition_graph(session.dataset.graph, 4, method=method)
+        print(f"   {method:16s} cut={part.cut_fraction:5.1%} "
+              f"degree balance={part.degree_balance:.2f} "
+              f"replication={part.replication_factor:.2f}x")
+
+    print("\n2) throughput vs shard count (smartsage-sharded)")
+    results = session.sweep("n_shards", list(SHARD_COUNTS))
+    base = results[1].throughput_batches_per_s
+    for k in SHARD_COUNTS:
+        r = results[k]
+        cut = r.backend_stats.get("cut_fraction", 0.0)
+        print(f"   K={k}  {r.throughput_batches_per_s:8.1f} batches/s "
+              f"({r.throughput_batches_per_s / base:4.2f}x, "
+              f"efficiency {r.throughput_batches_per_s / base / k:4.0%}, "
+              f"cut {cut:4.0%})")
+    print("   (sub-linear: every extra shard raises the remote-read "
+          "share of each batch)")
+
+    print("\n3) async prefetch window (single device, ssd-mmap)")
+    async_spec = spec.replace(
+        mode="async", system=SystemSpec(design="ssd-mmap")
+    )
+    async_session = Session(
+        async_spec,
+        dataset=session.dataset,
+        workloads=session.workloads,
+    )
+    for depth in (1, 2, 4, 8):
+        r = async_session.sweep("prefetch_depth", [depth])[depth]
+        print(f"   depth={depth}  {r.throughput_batches_per_s:8.1f} "
+              "batches/s")
+    print("   (depth 1 serializes preparation; the window widens until "
+          "the device saturates)")
+
+
+if __name__ == "__main__":
+    main()

@@ -65,7 +65,14 @@ from repro.errors import (
     StorageError,
 )
 from repro.graph import CSRGraph, GraphDataset, load_dataset
-from repro.pipeline import PipelineResult, run_pipeline
+from repro.graph.partition import GraphPartition, partition_graph
+from repro.pipeline import (
+    PipelineResult,
+    available_backends,
+    register_backend,
+    run_pipeline,
+    unregister_backend,
+)
 
 __version__ = "1.1.0"
 
@@ -91,6 +98,11 @@ __all__ = [
     "register_design",
     "unregister_design",
     "available_designs",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "GraphPartition",
+    "partition_graph",
     "ReproError",
     "SimulationError",
     "GraphError",

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro list                      # available experiments
     python -m repro designs                   # registered design points
+    python -m repro backends                  # registered execution backends
     python -m repro run fig14                 # one experiment
     python -m repro run [all] [--quick] [--jobs N] [--json] [--out DIR]
     python -m repro run all --only paper --skip e2e
@@ -31,6 +32,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("designs", help="list registered design points")
+    sub.add_parser("backends", help="list registered execution backends")
     run = sub.add_parser(
         "run", help="run one experiment (or 'all') as a campaign"
     )
@@ -104,6 +106,16 @@ def _cmd_designs() -> int:
     return 0
 
 
+def _cmd_backends() -> int:
+    from repro.pipeline.backends import available_backends, backend_entry
+
+    for name in available_backends():
+        entry = backend_entry(name)
+        graph = "graph" if entry.needs_graph else "     "
+        print(f"{name:18s} [{graph}] {entry.description}")
+    return 0
+
+
 def _cmd_run_spec(path: str, compare: str = None) -> int:
     from repro.api import Session
     from repro.errors import ReproError
@@ -126,7 +138,9 @@ def _cmd_run_spec(path: str, compare: str = None) -> int:
             for phase, mean in result.phase_means.items():
                 print(f"  {phase:20s} {mean * 1e3:9.3f} ms/batch")
     except (ReproError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        # Validation errors already name the offending field; prefix the
+        # spec file so batch callers can tell which input failed.
+        print(f"error: run-spec {path!r}: {exc}", file=sys.stderr)
         return 1
     return 0
 
@@ -222,6 +236,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "designs":
         return _cmd_designs()
+    if args.command == "backends":
+        return _cmd_backends()
     if args.command == "run-spec":
         return _cmd_run_spec(args.spec, args.compare)
     if args.command == "campaign":

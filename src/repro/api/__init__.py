@@ -5,6 +5,10 @@ The pieces:
 * :mod:`repro.api.registry` -- ``@register_design`` / ``available_designs``:
   the pluggable design-point registry that ``build_system`` dispatches
   through.  Third-party designs register without touching core.
+* :mod:`repro.pipeline.backends` -- ``@register_backend`` /
+  ``available_backends``: the execution-backend registry that
+  ``run_pipeline`` dispatches through (``event``/``analytic``/
+  ``sharded``/``async``); re-exported here for symmetry.
 * :mod:`repro.api.spec` -- ``SystemSpec`` / ``RunSpec``: serializable,
   validated descriptions of what to build and run (JSON round-trip).
 * :mod:`repro.api.session` -- ``Session``: dataset -> system -> GPU ->
@@ -49,6 +53,11 @@ __all__ = [
     "available_designs",
     "design_entry",
     "is_ssd_backed",
+    "BackendEntry",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "backend_entry",
     "ExperimentEntry",
     "RunRecord",
     "register_experiment",
@@ -88,6 +97,16 @@ _CAMPAIGN_NAMES = (
     "ExperimentOutcome",
 )
 
+#: lazily re-exported so importing ``repro.api`` does not pull the whole
+#: pipeline package (which itself imports ``repro.core``) at load time
+_BACKEND_NAMES = (
+    "BackendEntry",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "backend_entry",
+)
+
 
 def __getattr__(name):
     if name in _SESSION_NAMES:
@@ -98,6 +117,10 @@ def __getattr__(name):
         from repro.api import campaign
 
         return getattr(campaign, name)
+    if name in _BACKEND_NAMES:
+        from repro.pipeline import backends
+
+        return getattr(backends, name)
     if name == "ContentCache":
         from repro.api.cache import ContentCache
 

@@ -342,16 +342,26 @@ class Session:
             host_cache_frac=sys_spec.host_cache_frac,
             page_buffer_frac=sys_spec.page_buffer_frac,
             features_in_dram=sys_spec.features_in_dram,
+            n_shards=sys_spec.n_shards,
         )
 
     def run(self, design: Optional[str] = None) -> PipelineResult:
-        """Build ``design``, warm its caches, run the training pipeline."""
-        system = self.build(design)
+        """Build ``design``, warm its caches, run the training pipeline.
+
+        The system is supplied to the backend as a factory (build +
+        cache warm-up), so single-device backends materialize exactly
+        one instance and multi-device backends one per device group.
+        """
         warm = self.spec.warmup_batches
-        for w in self.workloads[:warm]:
-            system.sampling_engine.batch_cost(w)
+
+        def warmed_system() -> TrainingSystem:
+            fresh = self.build(design)
+            for w in self.workloads[:warm]:
+                fresh.sampling_engine.batch_cost(w)
+            return fresh
+
         return run_pipeline(
-            system,
+            None,
             self.gpu,
             self.workloads[warm:],
             n_batches=self.spec.n_batches,
@@ -360,6 +370,11 @@ class Session:
             queue_depth=self.spec.queue_depth,
             checkpoint_every=self.spec.checkpoint_every,
             checkpoint_bytes=self.spec.checkpoint_bytes,
+            n_shards=self.spec.system.n_shards,
+            partition=self.spec.system.partition,
+            prefetch_depth=self.spec.prefetch_depth,
+            graph=self.dataset.graph,
+            system_factory=warmed_system,
         )
 
     def sampling_cost(self, design: Optional[str] = None) -> BatchCost:

@@ -32,7 +32,6 @@ from repro.graph.datasets import DATASETS, LARGE_SCALE, _VARIANTS
 __all__ = ["SystemSpec", "RunSpec"]
 
 _SAMPLERS = ("sage", "saint")
-_MODES = ("event", "analytic")
 
 
 def _require(cond: bool, message: str) -> None:
@@ -80,6 +79,10 @@ class SystemSpec:
     host_cache_frac: float = 0.15
     page_buffer_frac: float = 0.003
     features_in_dram: bool = True
+    #: device groups for ``mode="sharded"`` (1 = single device)
+    n_shards: int = 1
+    #: graph partitioning method (see repro.graph.partition)
+    partition: str = "edge-cut"
     hardware: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -112,6 +115,14 @@ class SystemSpec:
         _require(
             isinstance(self.features_in_dram, bool),
             f"features_in_dram must be a bool, got {self.features_in_dram!r}",
+        )
+        _check_positive_int("n_shards", self.n_shards)
+        from repro.graph.partition import PARTITION_METHODS
+
+        _require(
+            self.partition in PARTITION_METHODS,
+            f"partition must be one of {PARTITION_METHODS}, "
+            f"got {self.partition!r}",
         )
         self.build_hardware()  # validates section/field names
         return self
@@ -190,6 +201,7 @@ class RunSpec:
     n_batches: int = 30
     n_workers: int = 4
     queue_depth: int = 4
+    prefetch_depth: int = 2
     checkpoint_every: int = 0
     checkpoint_bytes: int = 0
 
@@ -225,13 +237,17 @@ class RunSpec:
             self.sampler in _SAMPLERS,
             f"sampler must be one of {_SAMPLERS}, got {self.sampler!r}",
         )
+        from repro.pipeline.backends import available_backends
+
         _require(
-            self.mode in _MODES,
-            f"mode must be one of {_MODES}, got {self.mode!r}",
+            self.mode in available_backends(),
+            f"mode must be one of {available_backends()}, "
+            f"got {self.mode!r}",
         )
         _check_positive_int("n_batches", self.n_batches)
         _check_positive_int("n_workers", self.n_workers)
         _check_positive_int("queue_depth", self.queue_depth)
+        _check_positive_int("prefetch_depth", self.prefetch_depth)
         _check_positive_int(
             "checkpoint_every", self.checkpoint_every, minimum=0
         )

@@ -19,7 +19,8 @@ design                    meaning
 ========================  ====================================================
 
 Third-party designs register via ``@register_design("name")`` without
-touching this module (see :mod:`repro.api`).
+touching this module (see :mod:`repro.api`); the scale-out shard-local
+designs live in :mod:`repro.core.sharded_designs`.
 """
 
 from __future__ import annotations
@@ -137,6 +138,9 @@ class DesignContext:
     host_cache_frac: float
     page_buffer_frac: float
     features_in_dram: bool
+    #: device groups the run will be sharded across (mode="sharded");
+    #: shard-aware builders size per-shard components against the slice
+    n_shards: int = 1
     edge_layout: EdgeListLayout = field(init=False)
     feature_layout: FeatureTableLayout = field(init=False)
 
@@ -160,12 +164,29 @@ class DesignContext:
     def total_bytes(self) -> int:
         return self.edge_layout.total_bytes + self.feature_layout.total_bytes
 
-    def make_ssd(self, dedicated_isp_cores: bool = False) -> SSDevice:
-        """An SSD with its page buffer sized to ``page_buffer_frac``."""
+    @property
+    def shard_fraction(self) -> float:
+        """Fraction of the dataset one shard-local device stores."""
+        return 1.0 / max(1, self.n_shards)
+
+    def make_ssd(
+        self,
+        dedicated_isp_cores: bool = False,
+        data_fraction: float = 1.0,
+    ) -> SSDevice:
+        """An SSD with its page buffer sized to ``page_buffer_frac``.
+
+        ``data_fraction`` sizes the buffer against a slice of the edge
+        list instead of the whole (shard-local SSDs store ``1/K``).
+        """
         ssd = SSDevice(self.hw, dedicated_isp_cores=dedicated_isp_cores)
         pages = max(
             16,
-            int(self.edge_layout.total_bytes * self.page_buffer_frac)
+            int(
+                self.edge_layout.total_bytes
+                * data_fraction
+                * self.page_buffer_frac
+            )
             // ssd.nand.page_bytes,
         )
         ssd.page_buffer = PageBuffer(pages)
@@ -174,12 +195,16 @@ class DesignContext:
     def host_software(self) -> HostSoftware:
         return HostSoftware(self.hw.hostsw)
 
-    def page_cache(self) -> OSPageCache:
-        """OS page cache sized as ``host_cache_frac`` of the dataset."""
+    def page_cache(self, data_fraction: float = 1.0) -> OSPageCache:
+        """OS page cache sized as ``host_cache_frac`` of the dataset.
+
+        ``data_fraction`` scopes the budget to a shard's slice (each
+        shard host caches only the data it owns).
+        """
         return OSPageCache(
             capacity_bytes=max(
                 self.hw.ssd.lba_bytes,
-                int(self.total_bytes * self.host_cache_frac),
+                int(self.total_bytes * data_fraction * self.host_cache_frac),
             ),
             page_bytes=self.hw.ssd.lba_bytes,
         )
@@ -341,6 +366,7 @@ def build_system(
     host_cache_frac: float = 0.15,
     page_buffer_frac: float = 0.003,
     features_in_dram: bool = True,
+    n_shards: int = 1,
 ) -> TrainingSystem:
     """Assemble one design point sized against ``dataset``.
 
@@ -365,6 +391,8 @@ def build_system(
     host_cache_frac = check_fraction("host_cache_frac", host_cache_frac)
     page_buffer_frac = check_fraction("page_buffer_frac", page_buffer_frac)
     check_bool("features_in_dram", features_in_dram)
+    if n_shards < 1:
+        raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
     hw = hw or default_hardware()
     ctx = DesignContext(
         design=design,
@@ -375,6 +403,7 @@ def build_system(
         host_cache_frac=host_cache_frac,
         page_buffer_frac=page_buffer_frac,
         features_in_dram=features_in_dram,
+        n_shards=n_shards,
     )
     system = entry.builder(ctx)
     if not isinstance(system, TrainingSystem):
@@ -398,3 +427,8 @@ def build_gpu_model(
         num_classes=dataset.num_classes,
         feature_dtype_bytes=hw.workload.feature_dtype_bytes,
     )
+
+
+# The scale-out designs register alongside the paper's seven whenever
+# the built-ins load (repro.api.registry imports this module).
+import repro.core.sharded_designs  # noqa: E402,F401  (registers on import)

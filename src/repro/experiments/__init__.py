@@ -1,15 +1,17 @@
-"""Experiment harness: one module per paper figure/table.
+"""Experiment harness: one module per paper figure/table, plus extensions.
 
 Each module registers itself with the Campaign API
-(:func:`repro.api.experiment.register_experiment`): a ``plan(cfg)`` that
-splits the experiment into independent units, a ``collect`` that merges
-unit outputs into the result dict, and (where the default flattening is
-not enough) a ``records`` hook emitting structured
-:class:`~repro.api.experiment.RunRecord` rows.  The legacy surface --
-``run(cfg) -> dict``, ``render(result) -> str``, ``main()`` -- is kept
-as thin shims over the same pieces.  ``ALL_EXPERIMENTS`` maps experiment
-name to module; see DESIGN.md's per-experiment index for the
-figure-to-module mapping.
+(:func:`repro.api.experiment.register_experiment`): a ``plan(cfg)``
+that splits the experiment into independent units (zero-arg callables
+or declarative :class:`~repro.api.spec.RunSpec`\\ s), a ``collect``
+that merges unit outputs into the experiment's result, and (where the
+default flattening is not enough) a ``records`` hook emitting
+structured :class:`~repro.api.experiment.RunRecord` rows -- the
+machine-readable artifact a :class:`~repro.api.campaign.Campaign`
+serializes to JSON/CSV.  The legacy surface -- ``run(cfg)``,
+``render(result) -> str``, ``main()`` -- is kept as thin shims over the
+same pieces.  ``ALL_EXPERIMENTS`` maps experiment name to module; see
+DESIGN.md's per-experiment index for the figure-to-module mapping.
 """
 
 from repro.experiments import (  # noqa: F401
@@ -32,6 +34,7 @@ from repro.experiments import (  # noqa: F401
     fig20_graphsaint,
     fig21_sampling_rate,
     sensitivity_batch,
+    shard_scaling,
     table1_datasets,
 )
 from repro.experiments.common import (
@@ -67,6 +70,7 @@ ALL_EXPERIMENTS = {
     "fidelity": fidelity,
     "cache-sensitivity": cache_sensitivity,
     "depth-sensitivity": depth_sensitivity,
+    "shard-scaling": shard_scaling,
 }
 
 __all__ = [

@@ -12,7 +12,11 @@ Usage::
 This is a thin wrapper over :class:`repro.api.campaign.Campaign`: the
 suite shares one content-addressed dataset/workload cache, units run on
 a ``--jobs``-wide thread pool, and a failing experiment is reported
-(with its traceback) without stopping the rest.
+(with its traceback) without stopping the rest.  Each experiment's
+outcome is a :class:`~repro.api.campaign.ExperimentOutcome` (structured
+:class:`~repro.api.experiment.RunRecord` rows plus the paper-style text
+rendering), not the bare result dicts the pre-Campaign harness
+returned; ``--json``/``--out`` expose the structured form.
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ ORDER = (
     "table1", "fig05", "fig06", "fig07", "fig13", "fig14", "fig15",
     "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "calibration",
     "energy", "batch-sensitivity", "ablations", "fidelity",
-    "cache-sensitivity", "depth-sensitivity",
+    "cache-sensitivity", "depth-sensitivity", "shard-scaling",
 )
 
 

@@ -1,5 +1,20 @@
-"""Producer-consumer training pipeline (Fig 4) with GPU idle accounting."""
+"""Producer-consumer training pipeline (Fig 4) with GPU idle accounting.
 
+Execution strategies are pluggable (:mod:`repro.pipeline.backends`):
+``run_pipeline`` dispatches ``mode`` through the backend registry, so
+``event``/``analytic``/``sharded``/``async`` -- and any third-party
+``@register_backend`` mode -- share one entry point.
+"""
+
+from repro.pipeline.backends import (
+    BackendEntry,
+    ExecutionBackend,
+    ExecutionRequest,
+    available_backends,
+    backend_entry,
+    register_backend,
+    unregister_backend,
+)
 from repro.pipeline.consumer import GPUConsumer
 from repro.pipeline.gpu import GPUModel
 from repro.pipeline.producer import ProducerPool
@@ -17,4 +32,11 @@ __all__ = [
     "Span",
     "run_pipeline",
     "PipelineResult",
+    "ExecutionBackend",
+    "ExecutionRequest",
+    "BackendEntry",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "backend_entry",
 ]

@@ -1,0 +1,32 @@
+"""Pluggable execution backends for the training pipeline.
+
+``run_pipeline`` dispatches through this package's registry: ``event``
+and ``analytic`` are the historical single-device strategies, and the
+scale-out backends (``sharded``, ``async``) plug in beside them.  Third
+parties add modes with ``@register_backend("name")`` without touching
+:mod:`repro.pipeline.runner`.
+"""
+
+from repro.pipeline.backends.base import (
+    ExecutionBackend,
+    ExecutionRequest,
+    PipelineResult,
+)
+from repro.pipeline.backends.registry import (
+    BackendEntry,
+    available_backends,
+    backend_entry,
+    register_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionRequest",
+    "PipelineResult",
+    "BackendEntry",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "backend_entry",
+]

@@ -1,0 +1,53 @@
+"""Closed-form steady-state pipeline backend.
+
+Producers collectively deliver one batch every ``p / W`` seconds (``p``
+= mean preparation time); the GPU needs ``c`` per batch.  The pipeline
+runs at the slower of the two rates, plus one pipeline-fill.  This is
+the historical ``mode="analytic"`` path of ``run_pipeline``, moved onto
+the backend registry unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.backends.base import ExecutionRequest, PipelineResult
+from repro.pipeline.backends.registry import register_backend
+
+__all__ = []
+
+
+@register_backend(
+    "analytic",
+    description="closed-form steady-state pipeline model",
+)
+def _plan_analytic(request: ExecutionRequest) -> PipelineResult:
+    system, gpu = request.base_system(), request.gpu
+    workloads = request.workloads
+    n_batches, n_workers = request.n_batches, request.n_workers
+    samp = feat = trans = train = 0.0
+    for w in workloads:
+        samp += system.sampling_engine.batch_cost(w).total_s
+        feat += system.feature_engine.batch_cost(w.input_nodes).total_s
+        trans += gpu.transfer_time(w)
+        train += gpu.train_time(w)
+    k = len(workloads)
+    samp, feat, trans, train = samp / k, feat / k, trans / k, train / k
+    produce = samp + feat
+    consume = trans + train
+    interval = max(consume, produce / n_workers)
+    elapsed = produce + consume + (n_batches - 1) * interval
+    busy = n_batches * consume
+    return PipelineResult(
+        design=system.design,
+        mode="analytic",
+        n_batches=n_batches,
+        n_workers=n_workers,
+        elapsed_s=elapsed,
+        gpu_busy_s=busy,
+        gpu_idle_fraction=max(0.0, 1.0 - busy / elapsed),
+        phase_means={
+            "neighbor_sampling": samp,
+            "feature_lookup": feat,
+            "cpu_to_gpu": trans,
+            "gnn_training": train,
+        },
+    )

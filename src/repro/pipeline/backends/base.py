@@ -1,0 +1,160 @@
+"""Execution-backend protocol shared by every pipeline strategy.
+
+An execution backend decides *how* prepared batches flow through the
+system -- single-device producer/consumer, closed-form analytic,
+sharded multi-device, asynchronous prefetch pipelines -- while the
+*what* (systems, engines, GPU model, workloads) stays fixed.  Backends
+receive one :class:`ExecutionRequest` and return one
+:class:`PipelineResult`; they register through
+:mod:`repro.pipeline.backends.registry` exactly like design points
+register through :mod:`repro.api.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.sim.stats import PhaseBreakdown
+
+__all__ = [
+    "PipelineResult",
+    "ExecutionRequest",
+    "ExecutionBackend",
+    "drive",
+]
+
+
+def drive(sim, procs, what: str = "pipeline") -> float:
+    """Run ``sim`` until every process in ``procs`` completes.
+
+    The one run-to-completion loop every event-driven backend shares;
+    raises :class:`ConfigError` if the event queue drains first (a
+    deadlock).  Returns the final simulation time.
+    """
+    from repro.sim.engine import all_of
+
+    done = all_of(sim, procs)
+    while not done.triggered:
+        if not sim.step():
+            raise ConfigError(f"{what} deadlocked")
+    return sim.now
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one pipeline run."""
+
+    design: str
+    mode: str
+    n_batches: int
+    n_workers: int
+    elapsed_s: float
+    gpu_busy_s: float
+    gpu_idle_fraction: float
+    #: mean per-batch duration of each phase (Fig 6/18 stacked bars)
+    phase_means: Dict[str, float] = field(default_factory=dict)
+    #: device groups the run was sharded across (1 = single device)
+    n_shards: int = 1
+    #: backend-specific scalars (cut fraction, remote bytes, depth, ...)
+    backend_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_batches_per_s(self) -> float:
+        return self.n_batches / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def breakdown(self) -> PhaseBreakdown:
+        out = PhaseBreakdown()
+        for phase, mean in self.phase_means.items():
+            out.add(phase, mean)
+        return out
+
+    @property
+    def per_batch_latency_s(self) -> float:
+        return sum(self.phase_means.values())
+
+
+@dataclass
+class ExecutionRequest:
+    """Everything a backend needs to execute one training run.
+
+    The first block mirrors the historical ``run_pipeline`` signature;
+    the second carries the scale-out axes that only some backends read
+    (``n_shards``/``partition``/``graph`` for ``sharded``,
+    ``prefetch_depth`` for ``async``).  ``graph`` is the dataset's
+    :class:`~repro.graph.csr.CSRGraph`; :class:`~repro.api.session.Session`
+    always supplies it, direct ``run_pipeline`` callers only need to
+    when they ask for a graph-partitioning backend.
+
+    ``system_factory``, when given, builds a *fresh, cache-warmed*
+    system equivalent to ``system``; multi-device backends call it once
+    per device group so each group owns independent engine/cache state
+    instead of mutating one shared instance.  ``system`` may then be
+    ``None`` -- single-device backends resolve it lazily through
+    :meth:`base_system`, so a replicating backend never pays for an
+    instance it would discard.
+    """
+
+    system: Optional[object]           # TrainingSystem
+    gpu: object                        # GPUModel
+    workloads: List                    # List[SamplingWorkload]
+    n_batches: int
+    n_workers: int
+    queue_depth: int = 4
+    checkpoint_every: int = 0
+    checkpoint_bytes: int = 0
+    # -- scale-out axes ----------------------------------------------------
+    n_shards: int = 1
+    partition: str = "edge-cut"
+    prefetch_depth: int = 2
+    graph: Optional[object] = None     # CSRGraph
+    system_factory: Optional[Callable[[], object]] = None
+
+    def base_system(self):
+        """The request's system, built on first use when only a
+        factory was supplied."""
+        if self.system is None:
+            self.system = self.system_factory()
+        return self.system
+
+    def fresh_system(self):
+        """A fresh warmed system replica (falls back to ``system``)."""
+        if self.system_factory is not None:
+            return self.system_factory()
+        return self.system
+
+    def validate(self) -> "ExecutionRequest":
+        if self.system is None and self.system_factory is None:
+            raise ConfigError("need a system or a system_factory")
+        if self.n_batches <= 0 or self.n_workers <= 0:
+            raise ConfigError("n_batches and n_workers must be positive")
+        if not self.workloads:
+            raise ConfigError("need at least one workload")
+        if self.queue_depth <= 0:
+            raise ConfigError(
+                f"queue_depth must be positive, got {self.queue_depth}"
+            )
+        if self.n_shards < 1:
+            raise ConfigError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        if self.prefetch_depth < 1:
+            raise ConfigError(
+                f"prefetch_depth must be >= 1, got {self.prefetch_depth}"
+            )
+        return self
+
+
+class ExecutionBackend:
+    """Protocol base for class-style backends.
+
+    Function-style backends (a callable ``plan(request) ->
+    PipelineResult``) register directly; subclasses of this base are
+    instantiated once at registration time.
+    """
+
+    name = "base"
+
+    def plan(self, request: ExecutionRequest) -> PipelineResult:
+        raise NotImplementedError

@@ -1,0 +1,61 @@
+"""The discrete-event producer/consumer backend (the paper's Fig 4).
+
+``n_workers`` producers prepare batches through the system's
+sampling/feature engines against shared device resources; a single GPU
+consumer pops them from a bounded work queue.  This is the historical
+``mode="event"`` path of ``run_pipeline``, moved onto the backend
+registry unchanged (timing is bit-identical to the pre-registry code).
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.backends.base import (
+    ExecutionRequest,
+    PipelineResult,
+    drive,
+)
+from repro.pipeline.backends.registry import register_backend
+from repro.pipeline.consumer import GPUConsumer
+from repro.pipeline.producer import ProducerPool
+from repro.pipeline.timeline import PhaseAccumulator
+from repro.pipeline.workqueue import WorkQueue
+from repro.sim.engine import Simulator
+
+__all__ = []
+
+
+@register_backend(
+    "event",
+    description="discrete-event producer/consumer pipeline (Fig 4)",
+)
+def _plan_event(request: ExecutionRequest) -> PipelineResult:
+    system, gpu = request.base_system(), request.gpu
+    sim = Simulator()
+    runtime = system.attach(sim)
+    phases = PhaseAccumulator()
+    queue = WorkQueue(sim, depth=request.queue_depth)
+    pool = ProducerPool(
+        system, runtime, request.workloads, queue, request.n_batches, phases
+    )
+    consumer = GPUConsumer(
+        gpu, queue, request.n_batches, phases,
+        ssd=system.ssd if request.checkpoint_every else None,
+        checkpoint_every=request.checkpoint_every,
+        checkpoint_bytes=request.checkpoint_bytes,
+    )
+    producer_procs = pool.spawn_all(request.n_workers)
+    consumer_proc = sim.process(consumer.run(sim), name="gpu")
+    elapsed = drive(sim, producer_procs + [consumer_proc])
+    busy = consumer.utilization.busy_time(elapsed)
+    return PipelineResult(
+        design=system.design,
+        mode="event",
+        n_batches=request.n_batches,
+        n_workers=request.n_workers,
+        elapsed_s=elapsed,
+        gpu_busy_s=busy,
+        gpu_idle_fraction=max(0.0, 1.0 - busy / elapsed),
+        phase_means={
+            phase: stat.mean for phase, stat in phases.stats.items()
+        },
+    )

@@ -1,0 +1,234 @@
+"""Sharded multi-device backend: K producer groups, K shard-local SSDs.
+
+The dataset's node set is partitioned into ``n_shards`` shards
+(:mod:`repro.graph.partition`); each shard gets its own replica of the
+system's device stack plus its own GPU consumer, and handles the
+batches assigned to it round-robin.  When the request carries a
+``system_factory`` (``Session`` always passes one) every group is a
+fully independent build -- its own engines, caches, scratchpads, and
+SSD -- and one :meth:`TrainingSystem.attach` per group replicates the
+contention resources; without a factory the groups fall back to
+sharing the single system's engine/cache state (contention still
+per-group, cache contents shared -- a coarser approximation).  Work
+whose data lives on *another* shard -- sampled hop targets and input
+feature rows the partition does not own locally -- is fetched over the
+shard's PCIe ingress link as remote reads, which is what bends the
+scaling curve below linear as ``K`` grows (the cut fraction approaches
+``1 - 1/K`` for locality-free graphs).
+
+With ``n_shards=1`` there is no partition, no remote traffic, and a
+single group whose event schedule is identical to the ``event``
+backend -- the parity tests pin that down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.partition import GraphPartition, partition_graph
+from repro.pipeline.backends.base import (
+    ExecutionRequest,
+    PipelineResult,
+    drive,
+)
+from repro.pipeline.backends.registry import register_backend
+from repro.pipeline.consumer import GPUConsumer
+from repro.pipeline.producer import ProducerPool
+from repro.pipeline.timeline import PhaseAccumulator
+from repro.pipeline.workqueue import WorkQueue
+from repro.sim.engine import Simulator
+from repro.sim.resources import BandwidthLink
+
+__all__ = ["ShardProducerPool"]
+
+
+class ShardProducerPool(ProducerPool):
+    """Producers bound to one shard: local prepare + remote fetch.
+
+    Reuses :class:`ProducerPool`'s timing-sensitive worker body through
+    its subclass hooks: the pool owns an explicit list of batch indices
+    instead of the global ``range``, and after preparing a batch it
+    pulls that batch's remote bytes over the shard's ingress link before
+    publishing to the GPU queue.  When a batch has no remote bytes the
+    extra step is skipped entirely, so a fully-local shard replays the
+    single-device event schedule exactly.
+    """
+
+    def __init__(
+        self,
+        system,
+        runtime,
+        workloads,
+        queue: WorkQueue,
+        batch_ids: List[int],
+        phases: PhaseAccumulator,
+        shard: int = 0,
+        remote_bytes: Optional[Dict[int, int]] = None,
+        link: Optional[BandwidthLink] = None,
+    ):
+        super().__init__(
+            system, runtime, workloads, queue, len(batch_ids), phases
+        )
+        self.batch_ids = batch_ids
+        self.shard = shard
+        self.remote_bytes = remote_bytes or {}
+        self.link = link
+        self.remote_bytes_moved = 0
+
+    def _batch_index(self, pos: int):
+        return self.batch_ids[pos] if pos < len(self.batch_ids) else None
+
+    def _worker_name(self, worker_id: int) -> str:
+        return f"shard{self.shard}-producer-{worker_id}"
+
+    def _post_prepare(self, idx: int, workload, name: str):
+        nbytes = self.remote_bytes.get(idx, 0)
+        if nbytes and self.link is not None:
+            sim = self.runtime.sim
+            t0 = sim.now
+            yield from self.link.transfer(nbytes)
+            self.remote_bytes_moved += nbytes
+            self.phases.record(
+                "remote_fetch", sim.now - t0, worker=name, start_s=t0
+            )
+
+
+def _remote_bytes_per_workload(
+    part: GraphPartition,
+    graph,
+    workloads,
+    shard: int,
+    row_bytes: int,
+    edge_id_bytes: int,
+) -> List[int]:
+    """Cross-shard bytes each workload pulls when run on ``shard``.
+
+    Two remote-read streams: the neighbor lists of sampled hop targets
+    owned elsewhere (edge-list reads from the owning shard's SSD) and
+    the feature rows of input nodes owned elsewhere.
+    """
+    out = []
+    for w in workloads:
+        targets = w.all_targets()
+        remote_t = targets[part.remote_mask(targets, shard)]
+        edge_bytes = int(graph.degrees(remote_t).sum()) * edge_id_bytes
+        remote_rows = int(
+            np.count_nonzero(part.remote_mask(w.input_nodes, shard))
+        )
+        out.append(edge_bytes + remote_rows * row_bytes)
+    return out
+
+
+@register_backend(
+    "sharded",
+    description="K shard-local device groups with remote cross-shard reads",
+    needs_graph=True,
+)
+def _plan_sharded(request: ExecutionRequest) -> PipelineResult:
+    gpu = request.gpu
+    n_shards = request.n_shards
+    workloads = request.workloads
+
+    # Non-empty groups (shard k handles batches k, k+K, ...).  With K=1
+    # the request's own (already warmed) system is the single group,
+    # matching the event backend exactly; with K>1 every group is an
+    # independently built replica and the eager instance is never used.
+    group_ids = [k for k in range(n_shards) if k < request.n_batches]
+    if n_shards == 1:
+        group_systems = [request.base_system()]
+    else:
+        group_systems = [request.fresh_system() for _ in group_ids]
+    design = group_systems[0].design
+    hw = group_systems[0].hw
+
+    part: Optional[GraphPartition] = None
+    per_shard_remote: List[List[int]] = [[0] * len(workloads)]
+    if n_shards > 1:
+        if request.graph is None:
+            raise ConfigError(
+                "sharded mode with n_shards > 1 needs the dataset graph; "
+                "run through Session (which supplies it) or pass graph="
+            )
+        part = partition_graph(
+            request.graph, n_shards, method=request.partition
+        )
+        row_bytes = gpu.feature_dim * gpu.feature_dtype_bytes
+        edge_id_bytes = hw.workload.edge_id_bytes
+        per_shard_remote = [
+            _remote_bytes_per_workload(
+                part, request.graph, workloads, k, row_bytes, edge_id_bytes
+            )
+            for k in range(n_shards)
+        ]
+
+    sim = Simulator()
+    phases = PhaseAccumulator()
+    consumers: List[GPUConsumer] = []
+    pools: List[ShardProducerPool] = []
+    procs = []
+    for k, group_system in zip(group_ids, group_systems):
+        batch_ids = list(range(k, request.n_batches, n_shards))
+        runtime = group_system.attach(sim)
+        link = None
+        if part is not None:
+            # Shard-local PCIe ingress port (gen3 x16 class, one extra
+            # switch hop); remote pulls of co-located producers serialize
+            # here while other shards' links run in parallel.
+            pcie = hw.pcie
+            link = BandwidthLink(
+                sim,
+                pcie.gpu_link_bandwidth,
+                pcie.host_link_latency_s + pcie.p2p_switch_latency_s,
+                name=f"shard{k}.ingress",
+            )
+        remote = {
+            idx: per_shard_remote[k][idx % len(workloads)]
+            for idx in batch_ids
+        }
+        queue = WorkQueue(sim, depth=request.queue_depth)
+        pool = ShardProducerPool(
+            group_system, runtime, workloads, queue, batch_ids, phases,
+            shard=k, remote_bytes=remote, link=link,
+        )
+        consumer = GPUConsumer(
+            gpu, queue, len(batch_ids), phases,
+            ssd=group_system.ssd if request.checkpoint_every else None,
+            checkpoint_every=request.checkpoint_every,
+            checkpoint_bytes=request.checkpoint_bytes,
+        )
+        group_procs = pool.spawn_all(request.n_workers)
+        group_procs.append(
+            sim.process(consumer.run(sim), name=f"gpu-{k}")
+        )
+        pools.append(pool)
+        consumers.append(consumer)
+        procs.extend(group_procs)
+
+    elapsed = drive(sim, procs, what="sharded pipeline")
+    busy = sum(c.utilization.busy_time(elapsed) for c in consumers)
+    remote_total = sum(p.remote_bytes_moved for p in pools)
+    stats: Dict[str, float] = {
+        "n_groups": float(len(consumers)),
+        "remote_bytes": float(remote_total),
+    }
+    if part is not None:
+        stats.update(part.stats())
+    return PipelineResult(
+        design=design,
+        mode="sharded",
+        n_batches=request.n_batches,
+        n_workers=request.n_workers,
+        elapsed_s=elapsed,
+        gpu_busy_s=busy,
+        gpu_idle_fraction=max(
+            0.0, 1.0 - busy / (len(consumers) * elapsed)
+        ),
+        phase_means={
+            phase: stat.mean for phase, stat in phases.stats.items()
+        },
+        n_shards=n_shards,
+        backend_stats=stats,
+    )

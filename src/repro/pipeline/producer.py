@@ -41,13 +41,29 @@ class ProducerPool:
         self._next += 1
         return idx
 
+    # -- subclass hooks ----------------------------------------------------
+
+    def _batch_index(self, pos: int):
+        """Batch id for claim ``pos`` (``None`` = pool exhausted)."""
+        return pos if pos < self.n_batches else None
+
+    def _worker_name(self, worker_id: int) -> str:
+        return f"producer-{worker_id}"
+
+    def _post_prepare(self, idx: int, workload, name: str):
+        """Generator run after preparation, before publishing (no-op)."""
+        return
+        yield  # pragma: no cover
+
+    # -- the producer process ----------------------------------------------
+
     def worker(self, worker_id: int):
         """Generator: one producer process."""
         sim = self.runtime.sim
-        name = f"producer-{worker_id}"
+        name = self._worker_name(worker_id)
         while True:
-            idx = self._claim()
-            if idx >= self.n_batches:
+            idx = self._batch_index(self._claim())
+            if idx is None:
                 return
             workload = self.workloads[idx % len(self.workloads)]
             t0 = sim.now
@@ -65,11 +81,12 @@ class ProducerPool:
             self.phases.record(
                 "feature_lookup", t2 - t1, worker=name, start_s=t1
             )
+            yield from self._post_prepare(idx, workload, name)
             yield from self.queue.put(WorkItem(idx, workload))
 
     def spawn_all(self, n_workers: int):
         sim = self.runtime.sim
         return [
-            sim.process(self.worker(i), name=f"producer-{i}")
+            sim.process(self.worker(i), name=self._worker_name(i))
             for i in range(n_workers)
         ]

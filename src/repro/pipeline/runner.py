@@ -1,62 +1,29 @@
-"""End-to-end training pipeline runner (event and analytic modes).
+"""End-to-end training pipeline runner: a thin backend dispatcher.
 
 ``run_pipeline`` executes ``n_batches`` of GNN training on a
-:class:`~repro.core.systems.TrainingSystem`: producers prepare batches
-through the system's sampling/feature engines, the GPU consumes them, and
-the result carries everything the paper's end-to-end figures report --
-total time, per-phase breakdown, and the GPU idle fraction.
+:class:`~repro.core.systems.TrainingSystem` by dispatching to the
+execution backend registered for ``mode``
+(:mod:`repro.pipeline.backends`): ``event`` and ``analytic`` are the
+paper's single-device strategies, ``sharded`` simulates K shard-local
+device groups, ``async`` overlaps the preparation stages with bounded
+prefetch.  The result carries everything the paper's end-to-end figures
+report -- total time, per-phase breakdown, and the GPU idle fraction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List, Optional
 
 from repro.core.accounting import SamplingWorkload
-from repro.errors import ConfigError
-from repro.pipeline.consumer import GPUConsumer
-from repro.pipeline.gpu import GPUModel
-from repro.pipeline.producer import ProducerPool
-from repro.pipeline.timeline import PhaseAccumulator
-from repro.pipeline.workqueue import WorkQueue
-from repro.sim.engine import Simulator, all_of
-from repro.sim.stats import PhaseBreakdown
+from repro.pipeline.backends.base import ExecutionRequest, PipelineResult
+from repro.pipeline.backends.registry import backend_entry
 
 __all__ = ["PipelineResult", "run_pipeline"]
 
 
-@dataclass
-class PipelineResult:
-    """Outcome of one pipeline run."""
-
-    design: str
-    mode: str
-    n_batches: int
-    n_workers: int
-    elapsed_s: float
-    gpu_busy_s: float
-    gpu_idle_fraction: float
-    #: mean per-batch duration of each phase (Fig 6/18 stacked bars)
-    phase_means: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def throughput_batches_per_s(self) -> float:
-        return self.n_batches / self.elapsed_s if self.elapsed_s > 0 else 0.0
-
-    def breakdown(self) -> PhaseBreakdown:
-        out = PhaseBreakdown()
-        for phase, mean in self.phase_means.items():
-            out.add(phase, mean)
-        return out
-
-    @property
-    def per_batch_latency_s(self) -> float:
-        return sum(self.phase_means.values())
-
-
 def run_pipeline(
     system,
-    gpu: GPUModel,
+    gpu,
     workloads: List[SamplingWorkload],
     n_batches: int,
     n_workers: int,
@@ -64,102 +31,44 @@ def run_pipeline(
     queue_depth: int = 4,
     checkpoint_every: int = 0,
     checkpoint_bytes: int = 0,
+    n_shards: int = 1,
+    partition: str = "edge-cut",
+    prefetch_depth: int = 2,
+    graph: Optional[object] = None,
+    system_factory=None,
 ) -> PipelineResult:
-    """Simulate ``n_batches`` of training on ``system``.
+    """Simulate ``n_batches`` of training on ``system`` via ``mode``.
 
     ``workloads`` is a pool of pre-sampled batch workloads, cycled if
     shorter than ``n_batches`` (sampling the graph itself is orthogonal
     to system timing, so reusing representative workloads is sound).
     ``checkpoint_every``/``checkpoint_bytes`` enable periodic model
-    checkpoints to the SSD (event mode, SSD-backed designs only).
+    checkpoints to the SSD (event-style modes, SSD-backed designs only).
+
+    ``mode`` is any name in
+    :func:`repro.pipeline.backends.available_backends`; an unknown mode
+    raises :class:`~repro.errors.ConfigError` listing the registered
+    backends.  ``n_shards``/``partition``/``graph`` feed the ``sharded``
+    backend, ``prefetch_depth`` the ``async`` backend; the single-device
+    backends ignore them.  ``system_factory`` (optional) builds a fresh
+    warmed system per device group so multi-device backends get
+    independent cache state per shard; when it is given, ``system`` may
+    be ``None`` and backends materialize instances lazily.
     """
-    if n_batches <= 0 or n_workers <= 0:
-        raise ConfigError("n_batches and n_workers must be positive")
-    if not workloads:
-        raise ConfigError("need at least one workload")
-    if mode == "event":
-        return _run_event(
-            system, gpu, workloads, n_batches, n_workers, queue_depth,
-            checkpoint_every, checkpoint_bytes,
-        )
-    if mode == "analytic":
-        return _run_analytic(system, gpu, workloads, n_batches, n_workers)
-    raise ConfigError(f"unknown mode {mode!r}")
-
-
-def _run_event(
-    system, gpu, workloads, n_batches, n_workers, queue_depth,
-    checkpoint_every=0, checkpoint_bytes=0,
-) -> PipelineResult:
-    sim = Simulator()
-    runtime = system.attach(sim)
-    phases = PhaseAccumulator()
-    queue = WorkQueue(sim, depth=queue_depth)
-    pool = ProducerPool(
-        system, runtime, workloads, queue, n_batches, phases
-    )
-    consumer = GPUConsumer(
-        gpu, queue, n_batches, phases,
-        ssd=system.ssd if checkpoint_every else None,
+    entry = backend_entry(mode)
+    request = ExecutionRequest(
+        system=system,
+        gpu=gpu,
+        workloads=workloads,
+        n_batches=n_batches,
+        n_workers=n_workers,
+        queue_depth=queue_depth,
         checkpoint_every=checkpoint_every,
         checkpoint_bytes=checkpoint_bytes,
-    )
-    producer_procs = pool.spawn_all(n_workers)
-    consumer_proc = sim.process(consumer.run(sim), name="gpu")
-    done = all_of(sim, producer_procs + [consumer_proc])
-    while not done.triggered:
-        if not sim.step():
-            raise ConfigError("pipeline deadlocked")
-    elapsed = sim.now
-    busy = consumer.utilization.busy_time(elapsed)
-    return PipelineResult(
-        design=system.design,
-        mode="event",
-        n_batches=n_batches,
-        n_workers=n_workers,
-        elapsed_s=elapsed,
-        gpu_busy_s=busy,
-        gpu_idle_fraction=max(0.0, 1.0 - busy / elapsed),
-        phase_means={
-            phase: stat.mean for phase, stat in phases.stats.items()
-        },
-    )
-
-
-def _run_analytic(
-    system, gpu, workloads, n_batches, n_workers
-) -> PipelineResult:
-    """Closed-form steady-state pipeline model.
-
-    Producers collectively deliver one batch every ``p / W`` seconds
-    (``p`` = mean preparation time); the GPU needs ``c`` per batch.  The
-    pipeline runs at the slower of the two rates, plus one pipeline-fill.
-    """
-    samp = feat = trans = train = 0.0
-    for w in workloads:
-        samp += system.sampling_engine.batch_cost(w).total_s
-        feat += system.feature_engine.batch_cost(w.input_nodes).total_s
-        trans += gpu.transfer_time(w)
-        train += gpu.train_time(w)
-    k = len(workloads)
-    samp, feat, trans, train = samp / k, feat / k, trans / k, train / k
-    produce = samp + feat
-    consume = trans + train
-    interval = max(consume, produce / n_workers)
-    elapsed = produce + consume + (n_batches - 1) * interval
-    busy = n_batches * consume
-    return PipelineResult(
-        design=system.design,
-        mode="analytic",
-        n_batches=n_batches,
-        n_workers=n_workers,
-        elapsed_s=elapsed,
-        gpu_busy_s=busy,
-        gpu_idle_fraction=max(0.0, 1.0 - busy / elapsed),
-        phase_means={
-            "neighbor_sampling": samp,
-            "feature_lookup": feat,
-            "cpu_to_gpu": trans,
-            "gnn_training": train,
-        },
-    )
+        n_shards=n_shards,
+        partition=partition,
+        prefetch_depth=prefetch_depth,
+        graph=graph,
+        system_factory=system_factory,
+    ).validate()
+    return entry.plan(request)

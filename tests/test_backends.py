@@ -1,0 +1,311 @@
+"""Tests for the pluggable execution-backend layer (pipeline/backends)."""
+
+import pytest
+
+from repro.api import RunSpec, Session, SystemSpec
+from repro.core import build_gpu_model, build_system
+from repro.errors import ConfigError
+from repro.experiments.common import (
+    ExperimentConfig,
+    make_workloads,
+    scaled_instance,
+)
+from repro.pipeline import run_pipeline
+from repro.pipeline.backends import (
+    ExecutionBackend,
+    available_backends,
+    backend_entry,
+    register_backend,
+    unregister_backend,
+)
+from repro.pipeline.backends.base import PipelineResult
+
+CFG = ExperimentConfig(edge_budget=3e5, batch_size=24, n_workloads=5)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = scaled_instance("reddit", CFG)
+    workloads = make_workloads(ds, CFG)
+    gpu = build_gpu_model(ds, CFG.hw)
+    return ds, workloads, gpu
+
+
+def build(design, ds, workloads, **kwargs):
+    system = build_system(
+        design, ds, hw=CFG.hw, fanouts=CFG.fanouts, **kwargs
+    )
+    for w in workloads[:2]:
+        system.sampling_engine.batch_cost(w)
+    return system
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_builtin_backends_registered():
+    names = available_backends()
+    for mode in ("event", "analytic", "sharded", "async"):
+        assert mode in names
+    assert backend_entry("sharded").needs_graph
+    assert not backend_entry("event").needs_graph
+
+
+def test_register_backend_round_trip():
+    @register_backend("null-test", description="noop backend")
+    def _plan_null(request):
+        return PipelineResult(
+            design=request.system.design, mode="null-test",
+            n_batches=request.n_batches, n_workers=request.n_workers,
+            elapsed_s=1.0, gpu_busy_s=0.0, gpu_idle_fraction=1.0,
+        )
+
+    try:
+        assert "null-test" in available_backends()
+        assert backend_entry("null-test").description == "noop backend"
+        with pytest.raises(ConfigError, match="already registered"):
+            register_backend("null-test")(lambda request: None)
+        register_backend("null-test", replace=True)(_plan_null)
+    finally:
+        unregister_backend("null-test")
+    assert "null-test" not in available_backends()
+
+
+def test_register_backend_class_style(setup):
+    ds, workloads, gpu = setup
+
+    class _Fixed(ExecutionBackend):
+        def plan(self, request):
+            return PipelineResult(
+                design=request.system.design, mode="fixed",
+                n_batches=request.n_batches,
+                n_workers=request.n_workers,
+                elapsed_s=2.0, gpu_busy_s=1.0, gpu_idle_fraction=0.5,
+            )
+
+    register_backend("fixed-test")(_Fixed)
+    try:
+        system = build("dram", ds, workloads)
+        result = run_pipeline(
+            system, gpu, workloads[2:], n_batches=4, n_workers=1,
+            mode="fixed-test",
+        )
+        assert result.elapsed_s == 2.0
+    finally:
+        unregister_backend("fixed-test")
+
+
+def test_unknown_mode_lists_registered_backends(setup):
+    ds, workloads, gpu = setup
+    system = build("dram", ds, workloads)
+    with pytest.raises(ConfigError, match="event"):
+        run_pipeline(
+            system, gpu, workloads, n_batches=4, n_workers=1,
+            mode="quantum",
+        )
+
+
+def test_bad_backend_name_rejected():
+    with pytest.raises(ConfigError):
+        register_backend("")
+    with pytest.raises(ConfigError):
+        register_backend(None)
+
+
+# -- event parity -----------------------------------------------------------
+
+
+def test_event_dispatch_matches_direct_backend_call(setup):
+    """run_pipeline(mode='event') is exactly the registered backend."""
+    from repro.pipeline.backends.base import ExecutionRequest
+
+    ds, workloads, gpu = setup
+    via_dispatch = run_pipeline(
+        build("ssd-mmap", ds, workloads), gpu, workloads[2:],
+        n_batches=12, n_workers=4, mode="event",
+    )
+    request = ExecutionRequest(
+        system=build("ssd-mmap", ds, workloads), gpu=gpu,
+        workloads=workloads[2:], n_batches=12, n_workers=4,
+    )
+    direct = backend_entry("event").plan(request)
+    assert via_dispatch == direct
+
+
+def test_analytic_dispatches_through_registry(setup):
+    ds, workloads, gpu = setup
+    result = run_pipeline(
+        build("dram", ds, workloads), gpu, workloads[2:],
+        n_batches=8, n_workers=2, mode="analytic",
+    )
+    assert result.mode == "analytic"
+    assert result.elapsed_s > 0
+
+
+# -- sharded backend --------------------------------------------------------
+
+
+def test_sharded_k1_equals_event(setup):
+    """One shard, no partition, no remote reads: identical schedule."""
+    ds, workloads, gpu = setup
+    for design in ("ssd-mmap", "smartsage-hwsw"):
+        event = run_pipeline(
+            build(design, ds, workloads), gpu, workloads[2:],
+            n_batches=12, n_workers=4, mode="event",
+        )
+        sharded = run_pipeline(
+            build(design, ds, workloads), gpu, workloads[2:],
+            n_batches=12, n_workers=4, mode="sharded", n_shards=1,
+        )
+        assert sharded.elapsed_s == event.elapsed_s
+        assert sharded.phase_means == event.phase_means
+        assert sharded.gpu_busy_s == event.gpu_busy_s
+        assert sharded.n_shards == 1
+
+
+def test_sharded_scales_sublinearly(setup):
+    ds, workloads, gpu = setup
+
+    def tput(k):
+        result = run_pipeline(
+            build("smartsage-sharded", ds, workloads, n_shards=k),
+            gpu, workloads[2:], n_batches=16, n_workers=4,
+            mode="sharded", n_shards=k, graph=ds.graph,
+        )
+        return result.throughput_batches_per_s, result
+
+    t1, _ = tput(1)
+    t2, r2 = tput(2)
+    t4, r4 = tput(4)
+    # throughput increases with K...
+    assert t1 < t2 < t4
+    # ...but sub-linearly: cross-shard remote reads eat into scaling
+    assert t4 < 4 * t1
+    assert r4.backend_stats["cut_fraction"] > r2.backend_stats[
+        "cut_fraction"
+    ]
+    assert r4.backend_stats["remote_bytes"] > 0
+
+
+def test_sharded_multi_shard_needs_graph(setup):
+    ds, workloads, gpu = setup
+    with pytest.raises(ConfigError, match="graph"):
+        run_pipeline(
+            build("ssd-mmap", ds, workloads), gpu, workloads[2:],
+            n_batches=8, n_workers=2, mode="sharded", n_shards=2,
+        )
+
+
+def test_sharded_more_shards_than_batches(setup):
+    """Empty groups are skipped; every batch still completes."""
+    ds, workloads, gpu = setup
+    result = run_pipeline(
+        build("ssd-mmap", ds, workloads), gpu, workloads[2:],
+        n_batches=3, n_workers=2, mode="sharded", n_shards=8,
+        graph=ds.graph,
+    )
+    assert result.n_batches == 3
+    assert result.backend_stats["n_groups"] == 3.0
+
+
+# -- async backend ----------------------------------------------------------
+
+
+def test_async_prefetch_depth_monotonicity(setup):
+    """Deeper prefetch windows never slow the pipeline down."""
+    ds, workloads, gpu = setup
+    elapsed = []
+    for depth in (1, 2, 4, 8):
+        result = run_pipeline(
+            build("ssd-mmap", ds, workloads), gpu, workloads[2:],
+            n_batches=16, n_workers=4, mode="async",
+            prefetch_depth=depth,
+        )
+        assert result.mode == "async"
+        assert result.backend_stats["prefetch_depth"] == float(depth)
+        elapsed.append(result.elapsed_s)
+    for shallow, deep in zip(elapsed, elapsed[1:]):
+        assert deep <= shallow * (1 + 1e-9)
+    # depth 1 serializes preparation: strictly slower than a real window
+    assert elapsed[-1] < elapsed[0]
+
+
+def test_async_completes_all_batches(setup):
+    ds, workloads, gpu = setup
+    result = run_pipeline(
+        build("dram", ds, workloads), gpu, workloads[2:],
+        n_batches=9, n_workers=3, mode="async", prefetch_depth=2,
+    )
+    assert result.n_batches == 9
+    assert set(result.phase_means) >= {
+        "neighbor_sampling", "feature_lookup", "cpu_to_gpu",
+        "gnn_training",
+    }
+
+
+# -- spec / session integration ---------------------------------------------
+
+
+def small_spec(**kwargs):
+    base = dict(
+        dataset="reddit", edge_budget=3e5, batch_size=24,
+        n_workloads=5, n_batches=8, n_workers=2,
+    )
+    base.update(kwargs)
+    return RunSpec(**base)
+
+
+def test_runspec_accepts_new_modes():
+    for mode in ("sharded", "async"):
+        spec = small_spec(mode=mode)
+        assert spec.validate().mode == mode
+
+
+def test_runspec_mode_error_names_backends():
+    with pytest.raises(ConfigError, match="sharded"):
+        small_spec(mode="magic").validate()
+
+
+def test_systemspec_shard_fields_validated():
+    SystemSpec(n_shards=4, partition="degree-balanced").validate()
+    with pytest.raises(ConfigError, match="n_shards"):
+        SystemSpec(n_shards=0).validate()
+    with pytest.raises(ConfigError, match="partition"):
+        SystemSpec(partition="metis").validate()
+
+
+def test_runspec_shard_round_trip():
+    spec = small_spec(
+        mode="sharded",
+        prefetch_depth=3,
+        system=SystemSpec(
+            design="smartsage-sharded", n_shards=4,
+            partition="degree-balanced",
+        ),
+    )
+    again = RunSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.system.n_shards == 4
+    assert again.prefetch_depth == 3
+
+
+def test_session_sweeps_shard_counts():
+    spec = small_spec(
+        mode="sharded",
+        n_batches=12, n_workers=4,
+        system=SystemSpec(design="smartsage-sharded"),
+    )
+    session = Session(spec)
+    results = session.sweep("n_shards", [1, 2, 4])
+    tputs = [
+        results[k].throughput_batches_per_s for k in (1, 2, 4)
+    ]
+    assert tputs[0] < tputs[1] < tputs[2]
+    assert results[4].n_shards == 4
+
+
+def test_session_runs_async_mode():
+    spec = small_spec(mode="async", prefetch_depth=4)
+    result = Session(spec).run()
+    assert result.mode == "async"
+    assert result.n_batches == 8

@@ -1,0 +1,135 @@
+"""Tests for graph partitioning (repro.graph.partition)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_graph, uniform_graph
+from repro.graph.partition import (
+    PARTITION_METHODS,
+    partition_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(2000, 16000, np.random.default_rng(7))
+
+
+@pytest.mark.parametrize("method", PARTITION_METHODS)
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 8])
+def test_every_node_in_exactly_one_shard(graph, method, n_shards):
+    part = partition_graph(graph, n_shards, method=method)
+    assert part.owner.shape == (graph.num_nodes,)
+    assert part.owner.min() >= 0
+    assert part.owner.max() < n_shards
+    # shard_nodes is a partition of the node set
+    assert int(part.shard_nodes.sum()) == graph.num_nodes
+    counted = np.bincount(part.owner, minlength=n_shards)
+    assert np.array_equal(counted, part.shard_nodes)
+    # every shard non-empty
+    assert (part.shard_nodes > 0).all()
+    # nodes_of() reconstructs the node set disjointly
+    seen = np.concatenate(
+        [part.nodes_of(k) for k in range(n_shards)]
+    )
+    assert np.array_equal(np.sort(seen), np.arange(graph.num_nodes))
+
+
+@pytest.mark.parametrize("method", PARTITION_METHODS)
+def test_cut_edge_accounting(graph, method):
+    part = partition_graph(graph, 4, method=method)
+    # independent recount of edges crossing shards
+    src = np.repeat(
+        np.arange(graph.num_nodes), np.diff(graph.indptr)
+    )
+    expected = int(
+        np.count_nonzero(part.owner[src] != part.owner[graph.indices])
+    )
+    assert part.cut_edges == expected
+    assert part.total_edges == graph.num_edges
+    assert part.cut_fraction == pytest.approx(
+        expected / graph.num_edges
+    )
+    assert int(part.shard_degrees.sum()) == graph.num_edges
+
+
+def test_single_shard_has_no_cut(graph):
+    for method in PARTITION_METHODS:
+        part = partition_graph(graph, 1, method=method)
+        assert part.cut_edges == 0
+        assert part.cut_fraction == 0.0
+        assert part.replication_factor == 1.0
+        assert part.degree_balance == pytest.approx(1.0)
+
+
+def test_degree_balance_within_tolerance(graph):
+    part = partition_graph(graph, 4, method="degree-balanced")
+    # LPT keeps the heaviest shard within a few percent of ideal
+    assert part.degree_balance < 1.05
+    per_shard = part.shard_degrees
+    assert per_shard.max() - per_shard.min() <= per_shard.mean() * 0.1
+
+
+def test_edge_cut_balances_edges(graph):
+    part = partition_graph(graph, 4, method="edge-cut")
+    # contiguous ranges sized by edge count: within 2x of ideal even on
+    # a skewed degree profile this size
+    assert part.degree_balance < 2.0
+    # edge-cut ranges are contiguous: owners are non-decreasing in id
+    assert (np.diff(part.owner) >= 0).all()
+
+
+def test_replication_counts_distinct_remote_nodes():
+    # two shards; shard 0 = {0, 1}, shard 1 = {2, 3}
+    g = CSRGraph.from_adjacency([[2, 2, 3], [2], [0], []])
+    part = partition_graph(g, 2, owner=np.array([0, 0, 1, 1]))
+    assert part.method == "custom"
+    # shard 0 references remote {2, 3}; shard 1 references remote {0}
+    assert part.cut_edges == 5
+    assert list(part.replication) == [2, 1]
+    assert part.replication_factor == pytest.approx(1.0 + 3 / 4)
+
+
+def test_local_fraction_and_masks(graph):
+    part = partition_graph(graph, 2, method="edge-cut")
+    nodes = np.arange(graph.num_nodes)
+    f0 = part.local_fraction(nodes, 0)
+    f1 = part.local_fraction(nodes, 1)
+    assert f0 + f1 == pytest.approx(1.0)
+    mask = part.remote_mask(nodes, 0)
+    assert mask.sum() == int(part.shard_nodes[1])
+    assert part.local_fraction([], 0) == 1.0
+
+
+def test_degenerate_degree_profile_keeps_shards_nonempty():
+    # all edges on one node: boundaries must still split the node range
+    star = CSRGraph.from_adjacency([[1, 2, 3, 4]] + [[]] * 4)
+    part = partition_graph(star, 3, method="edge-cut")
+    assert (part.shard_nodes > 0).all()
+    assert int(part.shard_nodes.sum()) == 5
+
+
+def test_uniform_graph_cut_matches_random_expectation():
+    g = uniform_graph(400, 5000, np.random.default_rng(3))
+    part = partition_graph(g, 4, method="hash")
+    # random endpoints: cut fraction ~ 1 - 1/K
+    assert part.cut_fraction == pytest.approx(0.75, abs=0.05)
+
+
+def test_partition_validation(graph):
+    with pytest.raises(ConfigError):
+        partition_graph(graph, 0)
+    with pytest.raises(ConfigError):
+        partition_graph(graph, graph.num_nodes + 1)
+    with pytest.raises(ConfigError):
+        partition_graph(graph, 2, method="metis")
+    with pytest.raises(ConfigError):
+        partition_graph("not a graph", 2)
+    with pytest.raises(ConfigError):
+        partition_graph(graph, 2, owner=np.zeros(3))
+    with pytest.raises(ConfigError):
+        partition_graph(
+            graph, 2, owner=np.full(graph.num_nodes, 5)
+        )
