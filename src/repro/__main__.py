@@ -11,6 +11,9 @@ Usage::
     python -m repro run-spec spec.json        # one declarative run
     python -m repro run-spec spec.json --compare dram,ssd-mmap
     python -m repro campaign campaign.json    # declarative batch
+    python -m repro bench                     # all registered benchmarks
+    python -m repro bench llc-trace --smoke   # a quick subset
+    python -m repro bench --baseline bench/baseline   # regression gate
     python -m repro calibrate                 # headline ratios
 """
 
@@ -92,6 +95,50 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print a machine-readable campaign summary",
     )
+    bench = sub.add_parser(
+        "bench", help="run registered benchmarks, writing BENCH_*.json"
+    )
+    bench.add_argument(
+        "benchmarks", nargs="*", metavar="NAME",
+        help="benchmark names (default: all registered)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="reduced problem sizes (CI/test scale)",
+    )
+    bench.add_argument(
+        "--out", metavar="DIR", default="bench",
+        help="directory for BENCH_*.json artifacts (default: bench/)",
+    )
+    bench.add_argument(
+        "--no-write", action="store_true",
+        help="measure only; do not write BENCH_*.json",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="timing repetitions per measurement, best kept (default: 3)",
+    )
+    bench.add_argument(
+        "--baseline", metavar="DIR", default=None,
+        help="compare against BENCH_*.json in DIR; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=2.0, metavar="X",
+        help="fail when ops/sec falls more than X-fold vs the baseline "
+             "(default: 2.0)",
+    )
+    bench.add_argument(
+        "--tag", metavar="TAG", default=None,
+        help="run only benchmarks carrying TAG (micro, macro, ...)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", dest="list_benchmarks",
+        help="list registered benchmarks and exit",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable summary instead of text",
+    )
     sub.add_parser("calibrate", help="print headline ratios vs paper")
     return parser
 
@@ -142,6 +189,68 @@ def _cmd_run_spec(path: str, compare: str = None) -> int:
         # spec file so batch callers can tell which input failed.
         print(f"error: run-spec {path!r}: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.errors import ReproError
+    from repro.perf import (
+        available_benchmarks,
+        benchmark_entry,
+        benchmarks_with_tag,
+        compare_to_baseline,
+        load_baseline,
+        run_benchmarks,
+    )
+
+    try:
+        if args.list_benchmarks:
+            for name in available_benchmarks():
+                entry = benchmark_entry(name)
+                tags = ",".join(entry.tags)
+                print(f"{name:18s} [{tags:14s}] {entry.description}")
+            return 0
+        names = list(args.benchmarks) or None
+        for name in names or ():
+            benchmark_entry(name)  # fail fast on unknown names
+        if args.tag:
+            tagged = benchmarks_with_tag(args.tag)
+            names = [n for n in (names or tagged) if n in tagged]
+            if not names:
+                print(f"no benchmarks carry tag {args.tag!r}",
+                      file=sys.stderr)
+                return 2
+        results = run_benchmarks(
+            names=names,
+            smoke=args.smoke,
+            out_dir=None if args.no_write else args.out,
+            repeats=args.repeats,
+            progress=None if args.json else print,
+        )
+        if args.json:
+            print(json.dumps(
+                [r.to_json_obj() for r in results], indent=2
+            ))
+        elif not args.no_write:
+            print(f"artifacts: {args.out}/BENCH_*.json")
+        if args.baseline:
+            regressions = compare_to_baseline(
+                results,
+                load_baseline(args.baseline),
+                max_regression=args.max_regression,
+            )
+            for regression in regressions:
+                print(f"REGRESSION {regression}", file=sys.stderr)
+            if regressions:
+                return 1
+            print(
+                f"baseline ok: no >{args.max_regression:g}x regressions "
+                f"vs {args.baseline}",
+                file=sys.stderr,
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -242,6 +351,8 @@ def main(argv=None) -> int:
         return _cmd_run_spec(args.spec, args.compare)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "calibrate":
         from repro.experiments import calibration
 

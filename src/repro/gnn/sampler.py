@@ -16,11 +16,55 @@ from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
 from repro.gnn.subgraph import Block, MiniBatch
 
-__all__ = ["NeighborSampler", "sampling_access_trace"]
+__all__ = ["NeighborSampler", "FrontierDedup", "sampling_access_trace"]
+
+
+class FrontierDedup:
+    """Exact ``np.unique(values, return_inverse=True)`` over node IDs.
+
+    ``np.unique`` dominates ``sample_batch`` because it sorts the whole
+    sampled-neighbor array every hop.  Node IDs live in the bounded
+    domain ``[0, num_nodes)``, so a direct-address table finds the
+    (sorted) distinct IDs and their inverse in O(n + touched) instead:
+    set a flag per sampled ID, read the flags back in index order, and
+    invert through a rank table.  The flag/rank arrays are allocated
+    once and wiped via the touched entries only, so steady-state cost is
+    independent of graph size.  Output is identical to ``np.unique`` --
+    ascending distinct values plus the inverse mapping -- which keeps
+    every downstream block/figure unchanged.
+    """
+
+    def __init__(self, domain: int):
+        if domain <= 0:
+            raise ConfigError("dedup domain must be positive")
+        self.domain = int(domain)
+        self._flags = None
+        self._ranks = None
+
+    def __call__(self, values: np.ndarray):
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        if self._flags is None:
+            self._flags = np.zeros(self.domain, dtype=bool)
+            self._ranks = np.empty(self.domain, dtype=np.int64)
+        flags = self._flags
+        flags[values] = True
+        uniq = np.flatnonzero(flags)
+        flags[uniq] = False  # wipe for the next call
+        self._ranks[uniq] = np.arange(uniq.size, dtype=np.int64)
+        return uniq, self._ranks[values]
 
 
 class NeighborSampler:
-    """Multi-hop uniform neighbor sampler over a CSR graph."""
+    """Multi-hop uniform neighbor sampler over a CSR graph.
+
+    ``dedup`` selects the per-hop frontier deduplication kernel:
+    ``"table"`` (direct-address :class:`FrontierDedup`), ``"sorted"``
+    (the ``np.unique`` reference), or ``"auto"`` (table unless the graph
+    is so large relative to the batch that flag-array sweeps would
+    dominate).  All kernels produce identical mini-batches.
+    """
 
     def __init__(
         self,
@@ -28,15 +72,39 @@ class NeighborSampler:
         fanouts: Sequence[int] = (25, 10),
         replace: bool = True,
         record_positions: bool = False,
+        dedup: str = "auto",
     ):
         if not fanouts:
             raise ConfigError("need at least one fanout")
         if any(f <= 0 for f in fanouts):
             raise ConfigError("fanouts must be positive")
+        if dedup not in ("auto", "table", "sorted"):
+            raise ConfigError(f"unknown dedup kernel {dedup!r}")
         self.graph = graph
         self.fanouts = tuple(int(f) for f in fanouts)
         self.replace = replace
         self.record_positions = record_positions
+        self.dedup = dedup
+        self._table = None
+
+    def _unique_inverse(self, samples: np.ndarray):
+        """Dispatch the configured dedup kernel for one hop."""
+        mode = self.dedup
+        if mode == "auto":
+            # A table pays one O(num_nodes) allocation up front and an
+            # O(distinct) wipe per hop; only a tiny batch on a huge
+            # graph fails to amortize that.
+            if self._table is None and (
+                self.graph.num_nodes > 64 * max(1, samples.size)
+            ):
+                mode = "sorted"
+            else:
+                mode = "table"
+        if mode == "sorted":
+            return np.unique(samples, return_inverse=True)
+        if self._table is None:
+            self._table = FrontierDedup(self.graph.num_nodes)
+        return self._table(samples)
 
     @property
     def num_layers(self) -> int:
@@ -77,7 +145,7 @@ class NeighborSampler:
             edge_dst = np.repeat(
                 np.arange(frontier.size, dtype=np.int64), counts
             )
-            uniq, inverse = np.unique(samples, return_inverse=True)
+            uniq, inverse = self._unique_inverse(samples)
             src = np.concatenate([frontier, uniq])
             edge_src = frontier.size + inverse
             block = Block(

@@ -51,6 +51,7 @@ class CSRGraph:
         self.indices = indices
         self.indptr.setflags(write=False)
         self.indices.setflags(write=False)
+        self._degrees: Optional[np.ndarray] = None  # memoized np.diff(indptr)
 
     # -- construction ------------------------------------------------------
 
@@ -110,11 +111,20 @@ class CSRGraph:
         return int(self.indptr[node + 1] - self.indptr[node])
 
     def degrees(self, nodes: Optional[np.ndarray] = None) -> np.ndarray:
-        """Out-degrees for ``nodes`` (default: every node), vectorized."""
+        """Out-degrees for ``nodes`` (default: every node), vectorized.
+
+        The full degree array is computed once and memoized (the graph
+        is immutable), so per-sample calls are a single gather instead
+        of an ``np.diff`` over ``indptr``.  The returned array is
+        read-only; callers that mutate must copy.
+        """
+        if self._degrees is None:
+            degs = np.diff(self.indptr)
+            degs.setflags(write=False)
+            self._degrees = degs
         if nodes is None:
-            return np.diff(self.indptr)
-        nodes = np.asarray(nodes, dtype=np.int64)
-        return self.indptr[nodes + 1] - self.indptr[nodes]
+            return self._degrees
+        return self._degrees[np.asarray(nodes, dtype=np.int64)]
 
     @property
     def average_degree(self) -> float:
@@ -227,7 +237,7 @@ class CSRGraph:
     def reverse(self) -> "CSRGraph":
         """The transpose graph (in-edges become out-edges)."""
         src = np.repeat(
-            np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+            np.arange(self.num_nodes, dtype=np.int64), self.degrees()
         )
         return CSRGraph.from_edges(
             self.indices.astype(np.int64), src, num_nodes=self.num_nodes
@@ -236,7 +246,7 @@ class CSRGraph:
     def to_undirected(self) -> "CSRGraph":
         """Symmetrize by adding every reverse edge (duplicates kept)."""
         src = np.repeat(
-            np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+            np.arange(self.num_nodes, dtype=np.int64), self.degrees()
         )
         dst = self.indices.astype(np.int64)
         return CSRGraph.from_edges(

@@ -14,6 +14,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.memory.lru import lru_batch_access, lru_scalar_access
 
 __all__ = ["OSPageCache"]
 
@@ -37,7 +38,11 @@ class OSPageCache:
         return page in self._lru
 
     def access(self, page: int) -> bool:
-        """Touch one page; faults it in on miss. Returns True on hit."""
+        """Touch one page; faults it in on miss. Returns True on hit.
+
+        Scalar reference path; hot paths should use
+        :meth:`access_batch` / :meth:`access_batch_mask` instead.
+        """
         if page in self._lru:
             self._lru.move_to_end(page)
             self.hits += 1
@@ -50,40 +55,24 @@ class OSPageCache:
 
     def access_batch(self, pages: np.ndarray) -> int:
         """Touch pages in order; returns the number of hits."""
-        hits = 0
-        lru = self._lru
-        cap = self.capacity_pages
-        for p in np.asarray(pages).tolist():
-            if p in lru:
-                lru.move_to_end(p)
-                hits += 1
-            else:
-                lru[p] = None
-                if len(lru) > cap:
-                    lru.popitem(last=False)
-        n = int(np.asarray(pages).size)
-        self.hits += hits
-        self.misses += n - hits
-        return hits
+        return int(self.access_batch_mask(pages).sum())
 
     def access_batch_mask(self, pages: np.ndarray) -> np.ndarray:
         """Touch pages in order; returns the per-page hit mask."""
-        pages = np.asarray(pages)
-        mask = np.zeros(pages.size, dtype=bool)
-        lru = self._lru
-        cap = self.capacity_pages
-        hits = 0
-        for i, p in enumerate(pages.tolist()):
-            if p in lru:
-                lru.move_to_end(p)
-                mask[i] = True
-                hits += 1
-            else:
-                lru[p] = None
-                if len(lru) > cap:
-                    lru.popitem(last=False)
+        mask = lru_batch_access(self._lru, self.capacity_pages, pages)
+        if mask is None:
+            mask = lru_scalar_access(self._lru, self.capacity_pages, pages)
+        hits = int(mask.sum())
         self.hits += hits
-        self.misses += int(pages.size) - hits
+        self.misses += int(mask.size) - hits
+        return mask
+
+    def access_batch_mask_scalar(self, pages: np.ndarray) -> np.ndarray:
+        """Reference implementation of :meth:`access_batch_mask`."""
+        mask = lru_scalar_access(self._lru, self.capacity_pages, pages)
+        hits = int(mask.sum())
+        self.hits += hits
+        self.misses += int(mask.size) - hits
         return mask
 
     @property

@@ -14,6 +14,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.memory.lru import lru_batch_access, lru_scalar_access
 
 __all__ = ["Scratchpad"]
 
@@ -36,6 +37,8 @@ class Scratchpad:
         return key in self._lru
 
     def access(self, key: int) -> bool:
+        """Touch one key (scalar reference path; prefer :meth:`hit_mask`
+        on hot paths -- per-key calls pay Python dispatch per access)."""
         if key in self._lru:
             self._lru.move_to_end(key)
             self.hits += 1
@@ -48,22 +51,20 @@ class Scratchpad:
 
     def hit_mask(self, keys: np.ndarray) -> np.ndarray:
         """Per-key hit mask (inserting misses as it goes)."""
-        keys = np.asarray(keys)
-        out = np.zeros(keys.size, dtype=bool)
-        lru = self._lru
-        cap = self.capacity_entries
-        hits = 0
-        for i, k in enumerate(keys.tolist()):
-            if k in lru:
-                lru.move_to_end(k)
-                out[i] = True
-                hits += 1
-            else:
-                lru[k] = None
-                if len(lru) > cap:
-                    lru.popitem(last=False)
+        out = lru_batch_access(self._lru, self.capacity_entries, keys)
+        if out is None:
+            out = lru_scalar_access(self._lru, self.capacity_entries, keys)
+        hits = int(out.sum())
         self.hits += hits
-        self.misses += keys.size - hits
+        self.misses += int(out.size) - hits
+        return out
+
+    def hit_mask_scalar(self, keys: np.ndarray) -> np.ndarray:
+        """Reference implementation of :meth:`hit_mask` (parity tests)."""
+        out = lru_scalar_access(self._lru, self.capacity_entries, keys)
+        hits = int(out.sum())
+        self.hits += hits
+        self.misses += int(out.size) - hits
         return out
 
     @property

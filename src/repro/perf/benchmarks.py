@@ -1,0 +1,301 @@
+"""Built-in benchmarks over the simulation substrate's hot paths.
+
+Micro benchmarks pit each vectorized kernel against the scalar
+reference implementation it replaced (the reference stays in the tree
+precisely so this comparison -- and the parity tests backing it --
+never rot).  Macro benchmarks drive whole pipeline runs through the
+Session API, including one sharded-backend configuration, so the
+BENCH_*.json trajectory also captures end-to-end regressions that no
+micro kernel would catch.
+
+Problem sizes follow ``ctx.scale(full, smoke)``: full sizes target
+roughly a second per benchmark on a laptop-class core; smoke sizes keep
+``repro bench --smoke`` fast enough for CI and the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.registry import register_benchmark
+
+__all__ = []  # benchmarks are reached through the registry
+
+
+def _zipf_keys(rng, n: int, domain: int, a: float = 1.2) -> np.ndarray:
+    """Hub-heavy key stream: what page/node streams look like here."""
+    return (rng.zipf(a, size=n) % domain).astype(np.int64)
+
+
+@register_benchmark(
+    "llc-trace",
+    tags=("micro", "memory"),
+    description="set-associative LLC trace replay (vectorized vs scalar)",
+)
+def _bench_llc_trace(ctx):
+    from repro.config import LLCParams
+    from repro.memory.llc import CacheSim
+
+    n = ctx.scale(300_000, 20_000)
+    rng = ctx.rng()
+    # Uniform byte addresses over a many-set working set: the shape of
+    # the paper's low-locality sampling stream (Fig 5).
+    trace = rng.integers(0, 1 << 31, size=n)
+    params = LLCParams(capacity_bytes=8 << 20, ways=16, line_bytes=64)
+
+    elapsed = ctx.time(
+        lambda: CacheSim(params).run_trace(trace, method="vectorized")
+    )
+    reference = ctx.time(
+        lambda: CacheSim(params).run_trace_scalar(trace)
+    )
+    sim = CacheSim(params)
+    stats = sim.run_trace(trace)
+    return ctx.result(
+        ops=n,
+        elapsed_s=elapsed,
+        reference_s=reference,
+        miss_rate=stats.miss_rate,
+    )
+
+
+@register_benchmark(
+    "lru-batch",
+    tags=("micro", "host", "storage"),
+    description="batched exact-LRU caches (scratchpad/page cache/page buffer)",
+)
+def _bench_lru_batch(ctx):
+    from repro.host.pagecache import OSPageCache
+    from repro.host.scratchpad import Scratchpad
+    from repro.storage.pagebuffer import PageBuffer
+
+    n = ctx.scale(200_000, 10_000)
+    rng = ctx.rng()
+    keys = _zipf_keys(rng, n, domain=max(64, n // 8), a=1.1)
+
+    def batched():
+        with ctx.stage("scratchpad"):
+            Scratchpad(n * 64, 1).hit_mask(keys)
+        with ctx.stage("pagecache"):
+            OSPageCache(n * 4096 * 4, 4096).access_batch_mask(keys)
+        with ctx.stage("pagebuffer"):
+            PageBuffer(4 * n).hit_mask(keys)
+
+    def scalar():
+        Scratchpad(n * 64, 1).hit_mask_scalar(keys)
+        OSPageCache(n * 4096 * 4, 4096).access_batch_mask_scalar(keys)
+        PageBuffer(4 * n).hit_mask_scalar(keys)
+
+    elapsed = ctx.time(batched)
+    reference = ctx.time(scalar)
+    return ctx.result(ops=3 * n, elapsed_s=elapsed, reference_s=reference)
+
+
+@register_benchmark(
+    "flash-plan",
+    tags=("micro", "storage"),
+    description="flash controller extent planning (batched vs per-extent)",
+)
+def _bench_flash_plan(ctx):
+    from repro.storage.controller import FlashController
+    from repro.storage.nand import FlashArray
+
+    n = ctx.scale(40_000, 4_000)
+    rng = ctx.rng()
+    sizes = rng.integers(0, 128 * 1024, size=n).astype(np.int64)
+    lbas = rng.integers(0, 1 << 24, size=n).astype(np.int64)
+    counts = rng.integers(0, 32, size=n).astype(np.int64)
+
+    def batched():
+        ctl = FlashController(FlashArray())
+        with ctx.stage("plan_extents"):
+            ctl.plan_extents(sizes)
+        with ctx.stage("lpns_for_extents"):
+            ctl.lpns_for_extents(lbas, counts)
+
+    def scalar():
+        ctl = FlashController(FlashArray())
+        for s in sizes.tolist():
+            ctl.plan_extent(s)
+        for lba, cnt in zip(lbas.tolist(), counts.tolist()):
+            ctl.lpns_for_extent(lba, cnt)
+
+    elapsed = ctx.time(batched)
+    reference = ctx.time(scalar)
+    return ctx.result(ops=2 * n, elapsed_s=elapsed, reference_s=reference)
+
+
+@register_benchmark(
+    "ftl-translate",
+    tags=("micro", "storage"),
+    description="FTL translation with rewrites (vectorized vs scalar remap)",
+)
+def _bench_ftl_translate(ctx):
+    from repro.storage.ftl import FlashTranslationLayer
+
+    n = ctx.scale(300_000, 20_000)
+    total_pages = 1 << 20
+    rng = ctx.rng()
+    ftl = FlashTranslationLayer(total_pages, seed=1)
+    for lpn in rng.integers(0, total_pages, size=64).tolist():
+        ftl.rewrite(lpn)
+    lpns = rng.integers(0, total_pages, size=n).astype(np.int64)
+
+    def reference():
+        raw = ftl.permute(lpns)
+        ftl._apply_remap_scalar(lpns, raw)
+
+    elapsed = ctx.time(lambda: ftl.translate(lpns))
+    reference_s = ctx.time(reference)
+    return ctx.result(ops=n, elapsed_s=elapsed, reference_s=reference_s)
+
+
+@register_benchmark(
+    "frontier-dedup",
+    tags=("micro", "gnn"),
+    description="sampling frontier dedup (direct-address table vs np.unique)",
+)
+def _bench_frontier_dedup(ctx):
+    from repro.gnn.sampler import FrontierDedup
+
+    n = ctx.scale(400_000, 20_000)
+    domain = max(1024, n // 8)
+    rng = ctx.rng()
+    samples = rng.integers(0, domain, size=n).astype(np.int64)
+    table = FrontierDedup(domain)
+    table(samples[:16])  # allocate outside the timed region
+
+    elapsed = ctx.time(lambda: table(samples))
+    reference = ctx.time(lambda: np.unique(samples, return_inverse=True))
+    return ctx.result(
+        ops=n,
+        elapsed_s=elapsed,
+        reference_s=reference,
+        distinct_frac=np.unique(samples).size / n,
+    )
+
+
+@register_benchmark(
+    "sampler-batch",
+    tags=("macro", "gnn"),
+    description="multi-hop neighbor sampling (table vs sorted dedup kernel)",
+)
+def _bench_sampler_batch(ctx):
+    from repro.gnn.sampler import NeighborSampler
+    from repro.graph.csr import CSRGraph
+
+    n_nodes = ctx.scale(50_000, 5_000)
+    n_edges = 16 * n_nodes
+    rng = ctx.rng()
+    graph = CSRGraph.from_edges(
+        rng.integers(0, n_nodes, size=n_edges),
+        rng.integers(0, n_nodes, size=n_edges),
+        num_nodes=n_nodes,
+    )
+    seeds = rng.choice(n_nodes, size=ctx.scale(512, 96), replace=False)
+    fanouts = (15, 10)
+    iters = 5
+
+    def run(dedup: str):
+        sampler = NeighborSampler(graph, fanouts=fanouts, dedup=dedup)
+        sampled = 0
+        gen = np.random.default_rng(ctx.seed)
+        for _ in range(iters):
+            batch = sampler.sample_batch(seeds, gen)
+            sampled += sum(batch.hop_samples)
+        return sampled
+
+    ops = run("table")  # warm + count
+    elapsed = ctx.time(lambda: run("table"))
+    reference = ctx.time(lambda: run("sorted"))
+    return ctx.result(ops=ops, elapsed_s=elapsed, reference_s=reference)
+
+
+@register_benchmark(
+    "event-engine",
+    tags=("micro", "sim"),
+    description="discrete-event loop (coalesced buckets vs per-event heap)",
+)
+def _bench_event_engine(ctx):
+    from repro.sim.engine import Simulator
+    from repro.sim.resources import Resource
+
+    n_procs = ctx.scale(64, 16)
+    steps = ctx.scale(400, 60)
+
+    def run(coalesce: bool) -> int:
+        sim = Simulator(coalesce=coalesce)
+        resource = Resource(sim, capacity=4, name="bench")
+        rng = np.random.default_rng(ctx.seed)
+        delays = rng.integers(0, 3, size=(n_procs, steps)) * 1e-6
+
+        def proc(pid: int):
+            for k in range(steps):
+                yield sim.timeout(float(delays[pid, k]))
+                yield resource.acquire()
+                try:
+                    yield sim.timeout(1e-6)
+                finally:
+                    resource.release()
+
+        for pid in range(n_procs):
+            sim.process(proc(pid), name=f"p{pid}")
+        sim.run()
+        return sim.processed_events
+
+    ops = run(True)
+    elapsed = ctx.time(lambda: run(True))
+    reference = ctx.time(lambda: run(False))
+    return ctx.result(ops=ops, elapsed_s=elapsed, reference_s=reference)
+
+
+def _pipeline_result(ctx, design: str, mode: str, **system_kwargs):
+    """Shared body of the end-to-end pipeline benchmarks."""
+    import time
+
+    from repro.api import RunSpec, Session, SystemSpec
+
+    spec = RunSpec(
+        dataset="reddit",
+        edge_budget=ctx.scale(4e5, 1.2e5),
+        batch_size=ctx.scale(64, 32),
+        n_workloads=4,
+        n_batches=ctx.scale(24, 6),
+        n_workers=2,
+        mode=mode,
+        system=SystemSpec(design=design, **system_kwargs),
+    )
+    with ctx.stage("build"):
+        session = Session.from_spec(spec)
+        session.workloads  # materialize dataset + workload pool
+    with ctx.stage("simulate"):
+        t0 = time.perf_counter()
+        result = session.run()
+        elapsed = time.perf_counter() - t0
+    return ctx.result(
+        ops=spec.n_batches,
+        elapsed_s=elapsed,
+        simulated_s=result.elapsed_s,
+        gpu_idle_fraction=result.gpu_idle_fraction,
+        simulated_batches_per_s=result.throughput_batches_per_s,
+    )
+
+
+@register_benchmark(
+    "pipeline-event",
+    tags=("macro", "e2e"),
+    description="end-to-end event-mode pipeline run (simulated batches/sec of wall time)",
+)
+def _bench_pipeline_event(ctx):
+    return _pipeline_result(ctx, design="smartsage-hwsw", mode="event")
+
+
+@register_benchmark(
+    "pipeline-sharded",
+    tags=("macro", "e2e", "sharded"),
+    description="end-to-end sharded-backend run (K=2 shard-local device groups)",
+)
+def _bench_pipeline_sharded(ctx):
+    return _pipeline_result(
+        ctx, design="smartsage-sharded", mode="sharded", n_shards=2
+    )

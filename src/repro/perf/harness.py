@@ -1,0 +1,391 @@
+"""Benchmark harness: timing context, BENCH_*.json artifacts, baselines.
+
+The harness runs registered benchmarks (see :mod:`repro.perf.registry`)
+and writes one ``BENCH_<name>.json`` per benchmark with everything a
+perf trajectory needs: throughput (ops/sec), wall time, a per-stage
+breakdown, the scalar-reference comparison where the benchmark has one,
+and machine + git provenance so numbers from different checkouts and
+hosts are never confused.
+
+``--baseline`` mode re-loads a directory of previously written
+``BENCH_*.json`` files and flags any benchmark whose throughput fell by
+more than the allowed factor -- the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import datetime
+import functools
+import json
+import os
+import platform
+import subprocess
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.perf.registry import available_benchmarks, benchmark_entry
+
+__all__ = [
+    "SCHEMA",
+    "BenchContext",
+    "BenchResult",
+    "Regression",
+    "machine_info",
+    "git_info",
+    "run_benchmark",
+    "run_benchmarks",
+    "write_result",
+    "load_baseline",
+    "compare_to_baseline",
+]
+
+SCHEMA = "repro.bench/v1"
+
+
+@functools.lru_cache(maxsize=None)
+def _machine_info_cached() -> Dict[str, object]:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def machine_info() -> Dict[str, object]:
+    """Provenance: what hardware/interpreter produced these numbers."""
+    return dict(_machine_info_cached())
+
+
+@functools.lru_cache(maxsize=None)
+def _git_info_cached(cwd: Optional[str]) -> Dict[str, object]:
+
+    def _run(*args: str) -> Optional[str]:
+        try:
+            out = subprocess.run(
+                ["git", *args],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return out.stdout.strip() if out.returncode == 0 else None
+
+    commit = _run("rev-parse", "HEAD")
+    branch = _run("rev-parse", "--abbrev-ref", "HEAD")
+    status = _run("status", "--porcelain")
+    return {
+        "commit": commit,
+        "branch": branch,
+        "dirty": bool(status) if status is not None else None,
+    }
+
+
+def git_info(cwd: Optional[str] = None) -> Dict[str, object]:
+    """Provenance: which commit produced these numbers (best effort).
+
+    Cached per process -- BENCH artifacts all describe the same
+    checkout, so the git subprocesses run once, not once per benchmark.
+    """
+    return dict(_git_info_cached(cwd))
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's measurements (see :data:`SCHEMA` for the JSON)."""
+
+    name: str
+    description: str
+    tags: tuple
+    ops: int
+    elapsed_s: float
+    smoke: bool
+    repeats: int
+    reference_s: Optional[float] = None
+    stages: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def reference_ops_per_sec(self) -> Optional[float]:
+        if self.reference_s is None or self.reference_s <= 0:
+            return None
+        return self.ops / self.reference_s
+
+    @property
+    def speedup_vs_reference(self) -> Optional[float]:
+        if self.reference_s is None or self.elapsed_s <= 0:
+            return None
+        return self.reference_s / self.elapsed_s
+
+    def to_json_obj(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "description": self.description,
+            "tags": list(self.tags),
+            "smoke": self.smoke,
+            "repeats": self.repeats,
+            "ops": int(self.ops),
+            "elapsed_s": float(self.elapsed_s),
+            "ops_per_sec": float(self.ops_per_sec),
+            "reference_elapsed_s": (
+                None if self.reference_s is None else float(self.reference_s)
+            ),
+            "reference_ops_per_sec": self.reference_ops_per_sec,
+            "speedup_vs_reference": self.speedup_vs_reference,
+            "stages": {k: float(v) for k, v in self.stages.items()},
+            "metrics": {k: float(v) for k, v in self.metrics.items()},
+            "machine": machine_info(),
+            "git": git_info(),
+            "created_utc": datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(timespec="seconds"),
+        }
+
+    def summary(self) -> str:
+        line = (
+            f"{self.name:20s} {self.ops_per_sec:14,.0f} ops/s"
+            f"  ({self.elapsed_s * 1e3:9.2f} ms / {self.ops:,} ops)"
+        )
+        speedup = self.speedup_vs_reference
+        if speedup is not None:
+            line += f"  {speedup:5.1f}x vs scalar"
+        return line
+
+
+class BenchContext:
+    """What a benchmark function gets: sizing, timing, and result helpers.
+
+    ``smoke`` selects the reduced problem sizes used by tests/CI;
+    :meth:`scale` picks between the two.  :meth:`time` runs a callable
+    ``repeats`` times and keeps the best wall time (classic
+    noise-resistant micro-benchmark practice).  :meth:`stage` times a
+    named phase of a larger run, accumulated into the per-stage
+    breakdown of the final BENCH json.
+    """
+
+    def __init__(self, smoke: bool = False, repeats: int = 3, seed: int = 0):
+        if repeats < 1:
+            raise ConfigError("repeats must be >= 1")
+        self.smoke = smoke
+        self.repeats = repeats
+        self.seed = seed
+        self.stages: Dict[str, float] = {}
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def scale(self, full: int, smoke: int) -> int:
+        """Problem size: ``full`` normally, ``smoke`` for quick runs."""
+        return smoke if self.smoke else full
+
+    def time(
+        self, fn: Callable[[], object], repeats: Optional[int] = None
+    ) -> float:
+        """Best-of-``repeats`` wall time of ``fn()`` in seconds.
+
+        When ``fn`` itself uses :meth:`stage`, only the *best* run's
+        stage times are kept, so the breakdown always decomposes the
+        reported elapsed time instead of summing over every repeat.
+        """
+        best = float("inf")
+        best_stages: Dict[str, float] = {}
+        outer = self.stages
+        try:
+            for _ in range(repeats or self.repeats):
+                self.stages = {}
+                t0 = time.perf_counter()
+                fn()
+                elapsed = time.perf_counter() - t0
+                if elapsed < best:
+                    best, best_stages = elapsed, self.stages
+        finally:
+            self.stages = outer
+        for name, seconds in best_stages.items():
+            self.stages[name] = self.stages.get(name, 0.0) + seconds
+        return best
+
+    @contextmanager
+    def stage(self, name: str):
+        """Accumulate the wall time of a ``with`` block under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = (
+                self.stages.get(name, 0.0) + time.perf_counter() - t0
+            )
+
+    def result(
+        self,
+        ops: int,
+        elapsed_s: float,
+        reference_s: Optional[float] = None,
+        **metrics: float,
+    ) -> Dict[str, object]:
+        """Package a benchmark's measurements for the harness."""
+        return {
+            "ops": int(ops),
+            "elapsed_s": float(elapsed_s),
+            "reference_s": reference_s,
+            "metrics": metrics,
+        }
+
+
+def run_benchmark(
+    name: str,
+    smoke: bool = False,
+    repeats: int = 3,
+    seed: int = 0,
+) -> BenchResult:
+    """Run one registered benchmark and return its result."""
+    entry = benchmark_entry(name)
+    ctx = BenchContext(smoke=smoke, repeats=repeats, seed=seed)
+    out = entry.fn(ctx)
+    if not isinstance(out, dict) or "ops" not in out or "elapsed_s" not in out:
+        raise ConfigError(
+            f"benchmark {name!r} must return ctx.result(...), got {out!r}"
+        )
+    return BenchResult(
+        name=entry.name,
+        description=entry.description,
+        tags=entry.tags,
+        ops=int(out["ops"]),
+        elapsed_s=float(out["elapsed_s"]),
+        reference_s=out.get("reference_s"),
+        stages=dict(ctx.stages),
+        metrics=dict(out.get("metrics") or {}),
+        smoke=smoke,
+        repeats=repeats,
+    )
+
+
+def write_result(result: BenchResult, out_dir: str) -> str:
+    """Write ``BENCH_<name>.json`` under ``out_dir``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    safe = result.name.replace("/", "_").replace(" ", "_")
+    path = os.path.join(out_dir, f"BENCH_{safe}.json")
+    with open(path, "w") as fh:
+        json.dump(result.to_json_obj(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    smoke: bool = False,
+    out_dir: Optional[str] = None,
+    repeats: int = 3,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchResult]:
+    """Run benchmarks (default: all registered), optionally writing JSON."""
+    names = list(names) if names else list(available_benchmarks())
+    results = []
+    for name in names:
+        result = run_benchmark(name, smoke=smoke, repeats=repeats, seed=seed)
+        if out_dir is not None:
+            write_result(result, out_dir)
+        if progress is not None:
+            progress(result.summary())
+        results.append(result)
+    return results
+
+
+# -- baseline comparison --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark that fell behind its baseline throughput."""
+
+    name: str
+    ops_per_sec: float
+    baseline_ops_per_sec: float
+
+    @property
+    def factor(self) -> float:
+        return (
+            self.baseline_ops_per_sec / self.ops_per_sec
+            if self.ops_per_sec > 0
+            else float("inf")
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.ops_per_sec:,.0f} ops/s is "
+            f"{self.factor:.2f}x slower than baseline "
+            f"{self.baseline_ops_per_sec:,.0f} ops/s"
+        )
+
+
+def load_baseline(baseline_dir: str) -> Dict[str, Dict[str, object]]:
+    """Load every ``BENCH_*.json`` in ``baseline_dir``, keyed by name."""
+    if not os.path.isdir(baseline_dir):
+        raise ConfigError(f"baseline directory {baseline_dir!r} not found")
+    baseline = {}
+    for fname in sorted(os.listdir(baseline_dir)):
+        if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+            continue
+        path = os.path.join(baseline_dir, fname)
+        try:
+            with open(path) as fh:
+                blob = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"unreadable baseline {path!r}: {exc}") from exc
+        if "name" not in blob or "ops_per_sec" not in blob:
+            raise ConfigError(f"baseline {path!r} missing name/ops_per_sec")
+        baseline[blob["name"]] = blob
+    if not baseline:
+        raise ConfigError(f"no BENCH_*.json files in {baseline_dir!r}")
+    return baseline
+
+
+def compare_to_baseline(
+    results: Sequence[BenchResult],
+    baseline: Dict[str, Dict[str, object]],
+    max_regression: float = 2.0,
+) -> List[Regression]:
+    """Benchmarks whose ops/sec fell > ``max_regression``x vs baseline.
+
+    Benchmarks absent from the baseline are ignored (new benchmarks
+    must not fail the gate retroactively).
+    """
+    if max_regression <= 0:
+        raise ConfigError("max_regression must be positive")
+    regressions = []
+    for result in results:
+        base = baseline.get(result.name)
+        if base is None:
+            continue
+        if "smoke" in base and bool(base["smoke"]) != result.smoke:
+            raise ConfigError(
+                f"baseline for {result.name!r} was recorded at "
+                f"{'smoke' if base['smoke'] else 'full'} scale but this "
+                f"run is {'smoke' if result.smoke else 'full'} scale; "
+                "throughputs are not comparable"
+            )
+        base_ops = float(base["ops_per_sec"])
+        if base_ops <= 0:
+            continue
+        if result.ops_per_sec * max_regression < base_ops:
+            regressions.append(
+                Regression(
+                    name=result.name,
+                    ops_per_sec=result.ops_per_sec,
+                    baseline_ops_per_sec=base_ops,
+                )
+            )
+    return regressions

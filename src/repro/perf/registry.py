@@ -1,0 +1,128 @@
+"""Pluggable benchmark registry (mirrors the design/backend registries).
+
+Benchmarks are registered callables rather than a hard-coded list, so a
+new subsystem ships its own benchmark without touching the harness::
+
+    from repro.perf import register_benchmark
+
+    @register_benchmark("my-kernel", tags=("micro",),
+                        description="my kernel vs its reference")
+    def _bench_my_kernel(ctx):
+        ...
+        return ctx.result(ops=n, elapsed_s=t, reference_s=t_ref)
+
+A benchmark receives a :class:`repro.perf.harness.BenchContext` (scale
+selection, timing helpers) and returns the dict built by
+``ctx.result``.  The built-ins in :mod:`repro.perf.benchmarks` register
+on first use; this module imports them lazily so
+``available_benchmarks()`` is always complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "BenchmarkEntry",
+    "register_benchmark",
+    "unregister_benchmark",
+    "available_benchmarks",
+    "benchmark_entry",
+    "benchmarks_with_tag",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """One registered benchmark."""
+
+    name: str
+    fn: Callable
+    description: str = ""
+    #: free-form labels (``micro``/``macro`` plus the subsystem name)
+    tags: Tuple[str, ...] = ()
+
+
+_REGISTRY: Dict[str, BenchmarkEntry] = {}
+_builtin_loaded = False
+
+
+def _ensure_builtin() -> None:
+    """Import the built-in benchmark registrations (once, on success).
+
+    The flag is only set after a successful import so a transient
+    import failure surfaces its real error on every call instead of
+    leaving the registry silently empty for the rest of the process.
+    """
+    global _builtin_loaded
+    if _builtin_loaded:
+        return
+    import repro.perf.benchmarks  # noqa: F401  (registers on import)
+
+    _builtin_loaded = True
+
+
+def register_benchmark(
+    name: str,
+    *,
+    description: str = "",
+    tags: Tuple[str, ...] = (),
+    replace: bool = False,
+) -> Callable:
+    """Decorator registering ``fn`` as benchmark ``name``.
+
+    Raises :class:`ConfigError` if ``name`` is already registered,
+    unless ``replace=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigError(
+            f"benchmark name must be a non-empty string, got {name!r}"
+        )
+
+    def decorator(fn: Callable) -> Callable:
+        if name in _REGISTRY and not replace:
+            raise ConfigError(
+                f"benchmark {name!r} is already registered "
+                f"(by {_REGISTRY[name].fn!r}); pass replace=True to override"
+            )
+        _REGISTRY[name] = BenchmarkEntry(
+            name=name,
+            fn=fn,
+            description=description
+            or (fn.__doc__ or "").strip().split("\n")[0],
+            tags=tuple(tags),
+        )
+        return fn
+
+    return decorator
+
+
+def unregister_benchmark(name: str) -> None:
+    """Remove a registered benchmark (no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_benchmarks() -> Tuple[str, ...]:
+    """Names of every registered benchmark, registration order."""
+    _ensure_builtin()
+    return tuple(_REGISTRY)
+
+
+def benchmark_entry(name: str) -> BenchmarkEntry:
+    """Look up one benchmark; raise :class:`ConfigError` if unknown."""
+    _ensure_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown benchmark {name!r}; one of {tuple(_REGISTRY)}"
+        ) from None
+
+
+def benchmarks_with_tag(tag: str) -> Tuple[str, ...]:
+    """Names of registered benchmarks carrying ``tag``."""
+    _ensure_builtin()
+    return tuple(n for n, e in _REGISTRY.items() if tag in e.tags)

@@ -17,7 +17,7 @@ from repro.errors import StorageError
 from repro.storage.ftl import FlashTranslationLayer
 from repro.storage.nand import FlashArray
 
-__all__ = ["ReadPlan", "FlashController"]
+__all__ = ["ReadPlan", "BatchReadPlan", "FlashController"]
 
 
 @dataclass(frozen=True)
@@ -27,6 +27,43 @@ class ReadPlan:
     n_pages: int
     flash_time_qd1_s: float
     bytes_from_flash: int
+
+
+@dataclass(frozen=True)
+class BatchReadPlan:
+    """Flash work for many extent reads, planned in one vectorized pass.
+
+    Field arrays are parallel to the input extent-size array; each row
+    is exactly what :meth:`FlashController.plan_extent` would return for
+    that extent (and the same device counters are charged).
+    """
+
+    n_pages: np.ndarray          # int64 per extent
+    flash_time_qd1_s: np.ndarray  # float64 per extent
+    bytes_from_flash: np.ndarray  # int64 per extent
+
+    @property
+    def n_extents(self) -> int:
+        return int(self.n_pages.size)
+
+    @property
+    def total_pages(self) -> int:
+        return int(self.n_pages.sum())
+
+    @property
+    def total_time_s(self) -> float:
+        return float(self.flash_time_qd1_s.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes_from_flash.sum())
+
+    def __getitem__(self, i: int) -> ReadPlan:
+        return ReadPlan(
+            n_pages=int(self.n_pages[i]),
+            flash_time_qd1_s=float(self.flash_time_qd1_s[i]),
+            bytes_from_flash=int(self.bytes_from_flash[i]),
+        )
 
 
 class FlashController:
@@ -60,6 +97,35 @@ class FlashController:
         last = (lba + n_blocks - 1) // self.lbas_per_page
         return np.arange(first, last + 1, dtype=np.int64)
 
+    def lpns_for_extents(self, lbas: np.ndarray, n_blocks: np.ndarray):
+        """Vectorized :meth:`lpns_for_extent` over many LBA extents.
+
+        Returns ``(lpns, offsets)``: the concatenated per-extent logical
+        page runs plus ``int64[n + 1]`` extents into ``lpns``, matching
+        ``np.concatenate([lpns_for_extent(l, c) for l, c in ...])``.
+        """
+        lbas = np.asarray(lbas, dtype=np.int64)
+        n_blocks = np.asarray(n_blocks, dtype=np.int64)
+        if lbas.shape != n_blocks.shape:
+            raise StorageError("lbas and n_blocks must align")
+        if lbas.size and (lbas.min() < 0 or n_blocks.min() < 0):
+            raise StorageError("negative LBA extent")
+        lpp = self.lbas_per_page
+        first = lbas // lpp
+        last = (lbas + n_blocks - 1) // lpp
+        counts = np.where(n_blocks > 0, last - first + 1, 0)
+        offsets = np.zeros(lbas.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return np.empty(0, dtype=np.int64), offsets
+        live = counts > 0
+        starts = np.repeat(first[live], counts[live])
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(
+            offsets[:-1][live], counts[live]
+        )
+        return starts + ramp, offsets
+
     def plan_extent(self, nbytes: int) -> ReadPlan:
         """Plan a contiguous read of ``nbytes`` (QD1 service time)."""
         if nbytes < 0:
@@ -70,6 +136,37 @@ class FlashController:
             n_pages=n_pages,
             flash_time_qd1_s=self.nand.extent_read_time_qd1(nbytes),
             bytes_from_flash=n_pages * self.nand.page_bytes,
+        )
+
+    def plan_extents(self, nbytes: np.ndarray) -> BatchReadPlan:
+        """Vectorized :meth:`plan_extent` over many extent sizes.
+
+        Replicates the scalar arithmetic term by term (same IEEE
+        operation order), so per-extent times, page counts, and the
+        device counters are bit-identical to a ``plan_extent`` loop.
+        """
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        if nbytes.size and nbytes.min() < 0:
+            raise StorageError("negative extent size")
+        params = self.nand.params
+        page = params.page_bytes
+        bw = params.channel_bandwidth
+        n_pages = -(-nbytes // page)
+        nonzero = nbytes > 0
+        # extent_read_time_qd1: tR + clocking the first page's useful
+        # region (min 512 B partial transfer) + bus time for the rest.
+        first_bytes = np.clip(nbytes, 512, page)
+        rest_bytes = np.maximum(0, nbytes - np.minimum(nbytes, page))
+        times = (
+            params.read_latency_s + first_bytes / bw
+        ) + rest_bytes / bw
+        times[~nonzero] = 0.0
+        self.nand.pages_read += int(n_pages[nonzero].sum())
+        self.extents_read += int(nbytes.size)
+        return BatchReadPlan(
+            n_pages=n_pages,
+            flash_time_qd1_s=times,
+            bytes_from_flash=n_pages * page,
         )
 
     def physical_pages(self, lpns: np.ndarray) -> np.ndarray:

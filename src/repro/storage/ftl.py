@@ -62,11 +62,21 @@ class FlashTranslationLayer:
             1, 2 ** 31 - 1, size=_ROUNDS, dtype=np.int64
         )
         self._remap: Dict[int, int] = {}
+        self._remap_keys = None   # sorted-key cache for batch lookups
+        self._remap_vals = None
         self._next_fresh = total_pages  # grows into the spare area
         self.translations = 0
 
     def translate(self, lpns: np.ndarray) -> np.ndarray:
         """Vectorized LPN -> PPN translation (cycle-walking Feistel)."""
+        lpns = np.asarray(lpns, dtype=np.int64)
+        out = self.permute(lpns)
+        if self._remap:
+            out = self._apply_remap(lpns, out)
+        return out
+
+    def permute(self, lpns: np.ndarray) -> np.ndarray:
+        """The wear-leveling bijection alone (no rewrite remapping)."""
         lpns = np.asarray(lpns, dtype=np.int64)
         if lpns.size and (lpns.min() < 0 or lpns.max() >= self.total_pages):
             raise StorageError("logical page number out of range")
@@ -82,13 +92,43 @@ class FlashTranslationLayer:
             guard += 1
             if guard > 64:
                 raise StorageError("FTL cycle walking did not converge")
-        if self._remap:
-            # Apply any page rewrites (rare in this read-dominated model).
-            flat = out.ravel()
-            for i, lpn in enumerate(lpns.ravel()):
-                mapped = self._remap.get(int(lpn))
-                if mapped is not None:
-                    flat[i] = mapped
+        return out
+
+    def _apply_remap(
+        self, lpns: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Apply page rewrites to a translated batch, vectorized.
+
+        The remap table is tiny (out-of-place updates in a read-dominated
+        model), so a sorted-key lookup beats a per-LPN dict probe.
+        """
+        if self._remap_keys is None:
+            keys = np.fromiter(
+                self._remap.keys(), dtype=np.int64, count=len(self._remap)
+            )
+            order = np.argsort(keys)
+            self._remap_keys = keys[order]
+            self._remap_vals = np.fromiter(
+                self._remap.values(), dtype=np.int64, count=len(self._remap)
+            )[order]
+        flat_lpns = lpns.ravel()
+        pos = np.searchsorted(self._remap_keys, flat_lpns)
+        pos[pos == self._remap_keys.size] = 0
+        remapped = self._remap_keys[pos] == flat_lpns
+        if remapped.any():
+            flat = out.reshape(-1)
+            flat[remapped] = self._remap_vals[pos[remapped]]
+        return out
+
+    def _apply_remap_scalar(
+        self, lpns: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Reference remap application (parity tests)."""
+        flat = out.reshape(-1)
+        for i, lpn in enumerate(lpns.ravel()):
+            mapped = self._remap.get(int(lpn))
+            if mapped is not None:
+                flat[i] = mapped
         return out
 
     def translate_one(self, lpn: int) -> int:
@@ -101,6 +141,7 @@ class FlashTranslationLayer:
         ppn = self._next_fresh
         self._next_fresh += 1
         self._remap[lpn] = ppn
+        self._remap_keys = self._remap_vals = None
         return ppn
 
     def is_bijective_over(self, sample: int = 4096) -> bool:

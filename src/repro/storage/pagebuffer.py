@@ -15,6 +15,7 @@ from typing import Iterable, Tuple
 import numpy as np
 
 from repro.errors import StorageError
+from repro.memory.lru import lru_batch_access, lru_scalar_access
 
 __all__ = ["PageBuffer"]
 
@@ -37,7 +38,11 @@ class PageBuffer:
         return page in self._lru
 
     def access(self, page: int) -> bool:
-        """Touch one page; inserts on miss, evicting LRU. True on hit."""
+        """Touch one page; inserts on miss, evicting LRU. True on hit.
+
+        Scalar reference path; hot paths should use
+        :meth:`access_batch` / :meth:`hit_mask` instead.
+        """
         if page in self._lru:
             self._lru.move_to_end(page)
             self.hits += 1
@@ -50,20 +55,26 @@ class PageBuffer:
 
     def access_batch(self, pages: Iterable[int]) -> Tuple[int, int]:
         """Touch many pages; returns (hits, misses) for the batch."""
-        hits = misses = 0
-        for page in pages:
-            if self.access(int(page)):
-                hits += 1
-            else:
-                misses += 1
-        return hits, misses
+        mask = self.hit_mask(np.fromiter(pages, dtype=np.int64))
+        hits = int(mask.sum())
+        return hits, int(mask.size) - hits
 
     def hit_mask(self, pages: np.ndarray) -> np.ndarray:
         """Per-page hit/miss mask for a batch (updates LRU state)."""
-        pages = np.asarray(pages)
-        out = np.zeros(pages.size, dtype=bool)
-        for i in range(pages.size):
-            out[i] = self.access(int(pages[i]))
+        out = lru_batch_access(self._lru, self.capacity_pages, pages)
+        if out is None:
+            out = lru_scalar_access(self._lru, self.capacity_pages, pages)
+        hits = int(out.sum())
+        self.hits += hits
+        self.misses += int(out.size) - hits
+        return out
+
+    def hit_mask_scalar(self, pages: np.ndarray) -> np.ndarray:
+        """Reference implementation of :meth:`hit_mask` (parity tests)."""
+        out = lru_scalar_access(self._lru, self.capacity_pages, pages)
+        hits = int(out.sum())
+        self.hits += hits
+        self.misses += int(out.size) - hits
         return out
 
     @property
