@@ -24,8 +24,10 @@ by construction.  The module-level helpers (:func:`scaled_dataset`,
 from __future__ import annotations
 
 import dataclasses
+import numbers
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,11 +44,93 @@ from repro.pipeline.runner import PipelineResult, run_pipeline
 __all__ = [
     "Session",
     "DesignComparison",
+    "SweepResults",
+    "canonical_sweep_key",
     "scaled_dataset",
     "generate_workloads",
     "steady_state_cost",
     "sampling_throughput",
 ]
+
+
+def canonical_sweep_key(value) -> Tuple:
+    """Type-aware, cross-process-stable canonical form of a sweep value.
+
+    Plain ``dict`` keys conflate hashable-but-equal sweep points (``1``
+    vs ``True`` vs ``1.0`` share one slot) and the historical ``repr``
+    fallback for unhashable values was process-dependent for some
+    types.  This finishes the ``hash()``-randomization cleanup the
+    dataset seeding started: every JSON-representable axis value maps
+    to a tuple that (a) distinguishes values of different type and (b)
+    is identical in every process (floats via ``repr``, which
+    round-trips exactly; mappings sorted by key).
+    """
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, numbers.Integral):
+        return ("int", int(value))
+    if isinstance(value, numbers.Real):
+        return ("float", repr(float(value)))
+    if isinstance(value, str):
+        return ("str", value)
+    if value is None:
+        return ("none",)
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(canonical_sweep_key(v) for v in value))
+    if isinstance(value, dict):
+        return (
+            "map",
+            tuple(
+                sorted(
+                    (str(k), canonical_sweep_key(v))
+                    for k, v in value.items()
+                )
+            ),
+        )
+    return ("repr", type(value).__name__, repr(value))
+
+
+class SweepResults(Mapping):
+    """Sweep results looked up by the *original* axis values.
+
+    Entries are keyed internally by :func:`canonical_sweep_key`, so
+    equal-but-distinct values (``1`` vs ``True`` vs ``1.0``) stay
+    separate sweep points, unhashable values (``hardware`` override
+    dicts) are first-class keys, and iteration yields the original
+    values in sweep order.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple, Tuple[object, PipelineResult]] = {}
+
+    def add(self, value, result: PipelineResult) -> None:
+        """Record one sweep point; duplicates are a :class:`ConfigError`."""
+        key = canonical_sweep_key(value)
+        if key in self._entries:
+            raise ConfigError(
+                f"duplicate sweep point {value!r} "
+                f"(canonical key {key!r})"
+            )
+        self._entries[key] = (value, result)
+
+    def __getitem__(self, value) -> PipelineResult:
+        try:
+            return self._entries[canonical_sweep_key(value)][1]
+        except KeyError:
+            raise KeyError(value) from None
+
+    def __iter__(self) -> Iterator:
+        return iter(v for v, _ in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, value) -> bool:
+        return canonical_sweep_key(value) in self._entries
+
+    def __repr__(self) -> str:
+        points = ", ".join(repr(v) for v in self)
+        return f"SweepResults([{points}])"
 
 
 def scaled_dataset(
@@ -343,6 +427,7 @@ class Session:
             page_buffer_frac=sys_spec.page_buffer_frac,
             features_in_dram=sys_spec.features_in_dram,
             n_shards=sys_spec.n_shards,
+            gpu_cache_mb=sys_spec.gpu_cache_mb,
         )
 
     def run(self, design: Optional[str] = None) -> PipelineResult:
@@ -373,6 +458,7 @@ class Session:
             n_shards=self.spec.system.n_shards,
             partition=self.spec.system.partition,
             prefetch_depth=self.spec.prefetch_depth,
+            qp_depth=self.spec.qp_depth,
             graph=self.dataset.graph,
             system_factory=warmed_system,
         )
@@ -423,21 +509,41 @@ class Session:
             baseline=baseline or designs[0], results=results
         )
 
-    def sweep(self, axis: str, values: Sequence) -> Dict[object, PipelineResult]:
+    def sweep(self, axis: str, values: Sequence) -> "SweepResults":
         """Run the spec once per value of ``axis``.
 
         ``axis`` is any :class:`RunSpec` field (``n_workers``,
         ``batch_size``, ...), any :class:`SystemSpec` field
         (``design``, ``host_cache_frac``, ...), or ``"design"``.
         Materialized state is reused across points whenever the axis
-        cannot affect it.  Unhashable axis values (e.g. ``hardware``
-        override dicts) are keyed by their ``repr`` in the result.
+        cannot affect it.  The returned :class:`SweepResults` mapping
+        is indexed by the original values but keyed canonically
+        (:func:`canonical_sweep_key`), so equal-but-distinct points
+        (``1`` vs ``True`` vs ``1.0``) never overwrite each other and
+        unhashable values (``hardware`` override dicts) look up
+        directly; duplicate sweep points raise :class:`ConfigError`
+        before any point runs.
         """
         run_fields = {
             f.name for f in dataclasses.fields(RunSpec) if f.name != "system"
         }
         sys_fields = {f.name for f in dataclasses.fields(SystemSpec)}
-        results: Dict[object, PipelineResult] = {}
+        if axis not in run_fields | sys_fields:
+            raise ConfigError(
+                f"unknown sweep axis {axis!r}; one of "
+                f"{sorted(run_fields | sys_fields)}"
+            )
+        values = list(values)
+        seen: Dict[tuple, object] = {}
+        for value in values:
+            key = canonical_sweep_key(value)
+            if key in seen:
+                raise ConfigError(
+                    f"duplicate sweep point {value!r} for axis "
+                    f"{axis!r} (canonical key {key!r})"
+                )
+            seen[key] = value
+        results = SweepResults()
         for value in values:
             if axis in sys_fields:
                 spec = self.spec.replace(
@@ -445,13 +551,8 @@ class Session:
                         self.spec.system, **{axis: value}
                     )
                 )
-            elif axis in run_fields:
-                spec = self.spec.replace(**{axis: value})
             else:
-                raise ConfigError(
-                    f"unknown sweep axis {axis!r}; one of "
-                    f"{sorted(run_fields | sys_fields)}"
-                )
+                spec = self.spec.replace(**{axis: value})
             share_dataset = axis not in _DATASET_FIELDS
             share_workloads = (
                 share_dataset and axis not in _WORKLOAD_FIELDS
@@ -462,10 +563,5 @@ class Session:
                 workloads=self.workloads if share_workloads else None,
                 hw=self._hw if axis != "hardware" else None,
             )
-            try:
-                key = value
-                hash(key)
-            except TypeError:
-                key = repr(value)
-            results[key] = point.run()
+            results.add(value, point.run())
         return results

@@ -24,7 +24,7 @@ import numbers
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from repro.api.validation import check_fraction
+from repro.api.validation import check_fraction, check_positive_real
 from repro.config import HardwareParams, default_hardware
 from repro.errors import ConfigError
 from repro.graph.datasets import DATASETS, LARGE_SCALE, _VARIANTS
@@ -83,6 +83,8 @@ class SystemSpec:
     n_shards: int = 1
     #: graph partitioning method (see repro.graph.partition)
     partition: str = "edge-cut"
+    #: GPU-HBM software feature-cache budget for GIDS designs (MiB)
+    gpu_cache_mb: float = 64.0
     hardware: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -117,6 +119,7 @@ class SystemSpec:
             f"features_in_dram must be a bool, got {self.features_in_dram!r}",
         )
         _check_positive_int("n_shards", self.n_shards)
+        check_positive_real("gpu_cache_mb", self.gpu_cache_mb)
         from repro.graph.partition import PARTITION_METHODS
 
         _require(
@@ -202,6 +205,8 @@ class RunSpec:
     n_workers: int = 4
     queue_depth: int = 4
     prefetch_depth: int = 2
+    #: GPU-resident queue-pair depth (``mode="gids"``)
+    qp_depth: int = 64
     checkpoint_every: int = 0
     checkpoint_bytes: int = 0
 
@@ -248,6 +253,7 @@ class RunSpec:
         _check_positive_int("n_workers", self.n_workers)
         _check_positive_int("queue_depth", self.queue_depth)
         _check_positive_int("prefetch_depth", self.prefetch_depth)
+        _check_positive_int("qp_depth", self.qp_depth)
         _check_positive_int(
             "checkpoint_every", self.checkpoint_every, minimum=0
         )

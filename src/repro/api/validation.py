@@ -7,7 +7,7 @@ import numbers
 
 from repro.errors import ConfigError
 
-__all__ = ["check_fraction", "check_bool"]
+__all__ = ["check_fraction", "check_bool", "check_positive_real"]
 
 
 def check_fraction(name: str, value) -> float:
@@ -22,6 +22,19 @@ def check_fraction(name: str, value) -> float:
         raise ConfigError(
             f"{name} must be a fraction in [0, 1], got {value!r}"
         )
+    return float(value)
+
+
+def check_positive_real(name: str, value) -> float:
+    """Validate ``value`` as a finite positive real; return it as float."""
+    ok = (
+        not isinstance(value, bool)
+        and isinstance(value, numbers.Real)
+        and math.isfinite(float(value))
+        and float(value) > 0.0
+    )
+    if not ok:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
     return float(value)
 
 

@@ -171,6 +171,24 @@ class FPGAParams:
 
 
 @dataclass(frozen=True)
+class GIDSParams:
+    """GPU-initiated direct storage access (GIDS/BaM-style) path.
+
+    GPU threads build NVMe submission-queue entries in parallel inside a
+    warp; one lane rings the device doorbell over the PCIe BAR and the
+    warp later polls its completion entries.  Data is DMA-ed from the
+    SSD straight into GPU HBM through the PCIe switch, bypassing the
+    host-DRAM bounce buffer entirely.
+    """
+
+    warp_size: int = 32               # requests submitted per warp
+    submit_s: float = 0.12e-6         # SQ-entry build (parallel per warp)
+    doorbell_s: float = 0.9e-6        # per-warp doorbell write over the BAR
+    poll_s: float = 0.3e-6            # per-warp completion-queue polling
+    cache_hit_s: float = 0.25e-6      # GPU software page-cache hit service
+
+
+@dataclass(frozen=True)
 class WorkloadParams:
     """GraphSAGE training-loop defaults from the paper (Section V)."""
 
@@ -198,6 +216,7 @@ class HardwareParams:
     hostsw: HostSWParams = HostSWParams()
     gpu: GPUParams = GPUParams()
     fpga: FPGAParams = FPGAParams()
+    gids: GIDSParams = GIDSParams()
     workload: WorkloadParams = WorkloadParams()
 
     def replace(self, **kwargs) -> "HardwareParams":

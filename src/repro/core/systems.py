@@ -29,7 +29,11 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.api.registry import design_entry, register_design
-from repro.api.validation import check_bool, check_fraction
+from repro.api.validation import (
+    check_bool,
+    check_fraction,
+    check_positive_real,
+)
 from repro.config import HardwareParams, default_hardware
 from repro.core.feature_engines import (
     DirectIOFeatureEngine,
@@ -92,6 +96,9 @@ class SystemRuntime:
     sim: Simulator
     ssd_state: Optional[object]
     pagecache_lock: Resource
+    #: GIDS contention state (queue-pair slots, BAR link) for designs
+    #: carrying a :class:`~repro.storage.gids.GIDSController`
+    gids_state: Optional[object] = None
 
 
 @dataclass
@@ -105,12 +112,18 @@ class TrainingSystem:
     ssd: Optional[SSDevice] = None
     edge_layout: Optional[EdgeListLayout] = None
     feature_layout: Optional[FeatureTableLayout] = None
+    #: GPU-initiated access path (GIDS designs only)
+    gids: Optional[object] = None
 
     def attach(self, sim: Simulator) -> SystemRuntime:
+        ssd_state = self.ssd.attach(sim) if self.ssd else None
         return SystemRuntime(
             sim=sim,
-            ssd_state=self.ssd.attach(sim) if self.ssd else None,
+            ssd_state=ssd_state,
             pagecache_lock=Resource(sim, 1, name="pagecache-lock"),
+            gids_state=(
+                self.gids.attach(sim, ssd_state) if self.gids else None
+            ),
         )
 
     @property
@@ -141,6 +154,8 @@ class DesignContext:
     #: device groups the run will be sharded across (mode="sharded");
     #: shard-aware builders size per-shard components against the slice
     n_shards: int = 1
+    #: GPU-HBM software feature cache budget for GIDS designs (MiB)
+    gpu_cache_mb: float = 64.0
     edge_layout: EdgeListLayout = field(init=False)
     feature_layout: FeatureTableLayout = field(init=False)
 
@@ -240,8 +255,20 @@ class DesignContext:
     def dram_feature_engine(self) -> DRAMFeatureEngine:
         return DRAMFeatureEngine(self.hw, self.feature_layout.row_bytes)
 
+    def gpu_feature_cache(self):
+        """GPU-HBM software page cache sized to ``gpu_cache_mb``."""
+        from repro.config import MIB
+        from repro.storage.gids import GPUFeatureCache
+
+        lba = self.hw.ssd.lba_bytes
+        return GPUFeatureCache(
+            capacity_bytes=max(lba, int(self.gpu_cache_mb * MIB)),
+            page_bytes=lba,
+        )
+
     def make_system(self, sampling_engine, feature_engine,
-                    ssd: Optional[SSDevice] = None) -> TrainingSystem:
+                    ssd: Optional[SSDevice] = None,
+                    gids=None) -> TrainingSystem:
         """Assemble the final :class:`TrainingSystem` for this context."""
         return TrainingSystem(
             design=self.design, hw=self.hw, ssd=ssd,
@@ -249,6 +276,7 @@ class DesignContext:
             feature_layout=self.feature_layout if ssd else None,
             sampling_engine=sampling_engine,
             feature_engine=feature_engine,
+            gids=gids,
         )
 
 
@@ -367,6 +395,7 @@ def build_system(
     page_buffer_frac: float = 0.003,
     features_in_dram: bool = True,
     n_shards: int = 1,
+    gpu_cache_mb: float = 64.0,
 ) -> TrainingSystem:
     """Assemble one design point sized against ``dataset``.
 
@@ -386,6 +415,9 @@ def build_system(
     design keeps them in DRAM.  Pass ``False`` to exercise the
     storage-backed feature paths (a library extension for feature tables
     beyond DRAM capacity).
+
+    ``gpu_cache_mb`` budgets the GPU-HBM software page cache of the
+    GIDS designs (ignored by every host-mediated design).
     """
     entry = design_entry(design)
     host_cache_frac = check_fraction("host_cache_frac", host_cache_frac)
@@ -393,6 +425,7 @@ def build_system(
     check_bool("features_in_dram", features_in_dram)
     if n_shards < 1:
         raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+    gpu_cache_mb = check_positive_real("gpu_cache_mb", gpu_cache_mb)
     hw = hw or default_hardware()
     ctx = DesignContext(
         design=design,
@@ -404,6 +437,7 @@ def build_system(
         page_buffer_frac=page_buffer_frac,
         features_in_dram=features_in_dram,
         n_shards=n_shards,
+        gpu_cache_mb=gpu_cache_mb,
     )
     system = entry.builder(ctx)
     if not isinstance(system, TrainingSystem):
@@ -429,6 +463,7 @@ def build_gpu_model(
     )
 
 
-# The scale-out designs register alongside the paper's seven whenever
-# the built-ins load (repro.api.registry imports this module).
+# The scale-out and GIDS designs register alongside the paper's seven
+# whenever the built-ins load (repro.api.registry imports this module).
+import repro.core.gids_designs  # noqa: E402,F401  (registers on import)
 import repro.core.sharded_designs  # noqa: E402,F401  (registers on import)

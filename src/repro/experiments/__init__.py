@@ -33,6 +33,7 @@ from repro.experiments import (  # noqa: F401
     fig19_fpga,
     fig20_graphsaint,
     fig21_sampling_rate,
+    gids_vs_isp,
     sensitivity_batch,
     shard_scaling,
     table1_datasets,
@@ -71,6 +72,7 @@ ALL_EXPERIMENTS = {
     "cache-sensitivity": cache_sensitivity,
     "depth-sensitivity": depth_sensitivity,
     "shard-scaling": shard_scaling,
+    "gids-vs-isp": gids_vs_isp,
 }
 
 __all__ = [

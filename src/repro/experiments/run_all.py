@@ -38,6 +38,7 @@ ORDER = (
     "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "calibration",
     "energy", "batch-sensitivity", "ablations", "fidelity",
     "cache-sensitivity", "depth-sensitivity", "shard-scaling",
+    "gids-vs-isp",
 )
 
 

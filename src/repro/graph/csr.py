@@ -159,6 +159,7 @@ class CSRGraph:
         rng: np.random.Generator,
         replace: bool = True,
         return_positions: bool = False,
+        method: str = "auto",
     ):
         """Sample up to ``fanout`` neighbors of every target node.
 
@@ -167,6 +168,15 @@ class CSRGraph:
         literal algorithm) duplicates can occur; ``replace=False`` gives
         DGL/PyG-style sampling without replacement, returning all neighbors
         when the degree is below the fanout.
+
+        ``method`` selects the without-replacement kernel: ``"batched"``
+        (per-row random-key top-``fanout``, fully vectorized),
+        ``"scalar"`` (the per-row reference loop), or ``"auto"``
+        (batched).  Both kernels return identical ``offsets`` (counts do
+        not depend on the draw) and identical samples for every row
+        whose degree is at most the fanout; rows that genuinely sample
+        draw equally uniform but differently ordered subsets, since the
+        kernels consume the generator differently.
 
         Returns
         -------
@@ -181,6 +191,8 @@ class CSRGraph:
         targets = np.asarray(targets, dtype=np.int64)
         if fanout <= 0:
             raise GraphError(f"fanout must be positive, got {fanout}")
+        if method not in ("auto", "batched", "scalar"):
+            raise GraphError(f"unknown sampling method {method!r}")
         if targets.size and (
             targets.min() < 0 or targets.max() >= self.num_nodes
         ):
@@ -204,33 +216,99 @@ class CSRGraph:
             if return_positions:
                 return samples, offsets, flat_pos
             return samples, offsets
-        # Without replacement: exact, per-row.
-        chunks = []
-        pos_chunks = []
+        # Without replacement.
         counts = np.minimum(degs, fanout).astype(np.int64)
         offsets = np.zeros(targets.size + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
-        for i in range(targets.size):
+        if method == "scalar":
+            flat_pos = self._noreplace_positions_scalar(
+                degs, starts, fanout, rng
+            )
+        else:
+            flat_pos = self._noreplace_positions_batched(
+                degs, starts, counts, offsets, fanout, rng
+            )
+        samples = self.indices[flat_pos].astype(np.int64)
+        if return_positions:
+            return samples, offsets, flat_pos
+        return samples, offsets
+
+    def _noreplace_positions_scalar(
+        self,
+        degs: np.ndarray,
+        starts: np.ndarray,
+        fanout: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Reference kernel: one ``rng.choice`` per oversized row."""
+        pos_chunks = []
+        for i in range(degs.size):
             deg = degs[i]
             if deg == 0:
                 continue
-            row = self.indices[starts[i]: starts[i] + deg]
             if deg <= fanout:
-                chunks.append(np.asarray(row, dtype=np.int64))
-                pos_chunks.append(starts[i] + np.arange(deg, dtype=np.int64))
+                pos_chunks.append(
+                    starts[i] + np.arange(deg, dtype=np.int64)
+                )
             else:
                 sel = rng.choice(deg, size=fanout, replace=False)
-                chunks.append(np.asarray(row[sel], dtype=np.int64))
-                pos_chunks.append(starts[i] + np.asarray(sel, dtype=np.int64))
-        if not chunks:
-            empty = np.empty(0, dtype=np.int64)
-            return (empty, offsets, empty) if return_positions else (
-                empty, offsets
+                pos_chunks.append(
+                    starts[i] + np.asarray(sel, dtype=np.int64)
+                )
+        if not pos_chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pos_chunks)
+
+    def _noreplace_positions_batched(
+        self,
+        degs: np.ndarray,
+        starts: np.ndarray,
+        counts: np.ndarray,
+        offsets: np.ndarray,
+        fanout: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Batched without-replacement draw: random-key top-``fanout``.
+
+        Rows whose degree fits the fanout copy their whole extent; the
+        rest draw one uniform key per candidate edge and keep each
+        row's ``fanout`` smallest keys (the classic reservoir-free
+        exact draw), found with a single segmented ``lexsort`` over all
+        rows instead of one ``rng.choice`` per row.
+        """
+        from repro.graph.segments import expand_extents, segment_local_index
+
+        total = int(offsets[-1])
+        out = np.empty(total, dtype=np.int64)
+        if total == 0:
+            return out
+        row_out = offsets[:-1]
+        full = (degs > 0) & (degs <= fanout)
+        if np.any(full):
+            f_deg = degs[full]
+            out[expand_extents(row_out[full], f_deg)] = expand_extents(
+                starts[full], f_deg
             )
-        samples = np.concatenate(chunks)
-        if return_positions:
-            return samples, offsets, np.concatenate(pos_chunks)
-        return samples, offsets
+        over = degs > fanout
+        if np.any(over):
+            s_deg = degs[over]
+            m = int(s_deg.sum())
+            row_of = np.repeat(
+                np.arange(int(s_deg.size), dtype=np.int64), s_deg
+            )
+            within = segment_local_index(s_deg)
+            keys = rng.random(m)
+            # Sort each row's candidate edges by key; rows stay
+            # contiguous and in order, so the within-segment index of
+            # the *sorted* stream doubles as the per-row rank.
+            order = np.lexsort((keys, row_of))
+            take = order[within < fanout]
+            slots = (
+                np.repeat(row_out[over], fanout)
+                + within[within < fanout]
+            )
+            out[slots] = np.repeat(starts[over], fanout) + within[take]
+        return out
 
     # -- transforms ----------------------------------------------------------
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import StorageError
 from repro.graph.csr import CSRGraph
+from repro.graph.segments import expand_extents
 
 __all__ = ["EdgeListLayout", "FeatureTableLayout"]
 
@@ -104,13 +105,7 @@ class EdgeListLayout:
         first = start_b // page_bytes
         last = (end_b - 1) // page_bytes
         counts = np.where(end_b > start_b, last - first + 1, 0)
-        total = int(counts.sum())
-        if total == 0:
-            return np.empty(0, dtype=np.int64)
-        starts = np.repeat(first, counts)
-        cum = np.cumsum(counts) - counts
-        offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
-        return starts + offsets
+        return expand_extents(first, counts)
 
     def flash_pages(
         self, nodes: np.ndarray, page_bytes: int

@@ -1,0 +1,40 @@
+"""Segmented-array primitives shared by the numpy hot-path kernels.
+
+Several kernels operate on ragged "segments packed into a flat array"
+data (per-node edge-list extents, per-extent page runs, per-row
+candidate edges).  The two primitives here are the cumsum/repeat
+arithmetic they all share, kept in one place so dtype and
+empty-segment handling never diverge between copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segment_local_index", "expand_extents"]
+
+
+def segment_local_index(seg_lens: np.ndarray) -> np.ndarray:
+    """``[0..len)`` per segment, concatenated.
+
+    ``segment_local_index([2, 0, 3]) == [0, 1, 0, 1, 2]``.
+    """
+    seg_lens = np.asarray(seg_lens, dtype=np.int64)
+    total = int(seg_lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    firsts = np.cumsum(seg_lens) - seg_lens
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(firsts, seg_lens)
+    )
+
+
+def expand_extents(first: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Expand (first element, count) extents into the flat ID stream.
+
+    ``expand_extents([10, 50], [2, 3]) == [10, 11, 50, 51, 52]``.
+    """
+    first = np.asarray(first, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    return np.repeat(first, counts) + segment_local_index(counts)

@@ -14,26 +14,58 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.graph.segments import expand_extents  # noqa: F401  (re-export,
+#   the historical home of the extent expander)
 from repro.host.pagecache import OSPageCache
 from repro.host.syscall import HostSoftware
 from repro.storage.ssd import SSDevice
 
-__all__ = ["MmapOutcome", "MmapReader", "expand_extents"]
+__all__ = [
+    "MmapOutcome",
+    "MmapReader",
+    "expand_extents",
+    "fault_around_windows",
+    "fault_around_windows_scalar",
+]
 
 
-def expand_extents(
-    first: np.ndarray, counts: np.ndarray
+def fault_around_windows(
+    misses_per_extent: np.ndarray, window: int
 ) -> np.ndarray:
-    """Expand (first LBA, count) extents into the flat page-ID stream."""
-    first = np.asarray(first, dtype=np.int64)
-    counts = np.asarray(counts, dtype=np.int64)
-    total = int(counts.sum())
-    if total == 0:
+    """Fault-around window sizes per extent, fully vectorized.
+
+    Each extent's ``m`` missing pages are served by ``ceil(m / window)``
+    major faults: ``m // window`` full windows followed by one partial
+    window of ``m % window`` pages.  The ceil-div arithmetic emits the
+    same window stream the per-extent loop
+    (:func:`fault_around_windows_scalar`) produces, bit for bit --
+    full windows first, the remainder last within each extent.
+    """
+    m = np.asarray(misses_per_extent, dtype=np.int64)
+    m = m[m > 0]
+    if m.size == 0:
         return np.empty(0, dtype=np.int64)
-    starts = np.repeat(first, counts)
-    cum = np.cumsum(counts) - counts
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
-    return starts + offsets
+    rem = m % window
+    n_windows = m // window + (rem > 0)
+    out = np.full(int(n_windows.sum()), window, dtype=np.int64)
+    last = np.cumsum(n_windows) - 1
+    partial = rem > 0
+    out[last[partial]] = rem[partial]
+    return out
+
+
+def fault_around_windows_scalar(
+    misses_per_extent: np.ndarray, window: int
+) -> np.ndarray:
+    """Reference kernel: the historical per-extent while loop."""
+    window_sizes = []
+    for m in np.asarray(misses_per_extent, dtype=np.int64):
+        m = int(m)
+        while m > 0:
+            take = min(window, m)
+            window_sizes.append(take)
+            m -= take
+    return np.asarray(window_sizes, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -88,15 +120,9 @@ class MmapReader:
         misses_per_extent = np.add.reduceat(
             (~mask).astype(np.int64), offsets
         )
-        window_sizes = []
-        w = self.fault_around_pages
-        for m in misses_per_extent:
-            m = int(m)
-            while m > 0:
-                take = min(w, m)
-                window_sizes.append(take)
-                m -= take
-        return hits, np.asarray(window_sizes, dtype=np.int64)
+        return hits, fault_around_windows(
+            misses_per_extent, self.fault_around_pages
+        )
 
     def read_extents(
         self, first_lbas: np.ndarray, lba_counts: np.ndarray

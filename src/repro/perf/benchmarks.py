@@ -212,6 +212,62 @@ def _bench_sampler_batch(ctx):
 
 
 @register_benchmark(
+    "sampler-noreplace",
+    tags=("micro", "graph"),
+    description="without-replacement sampling (batched key top-k vs per-row)",
+)
+def _bench_sampler_noreplace(ctx):
+    from repro.graph.csr import CSRGraph
+
+    n_nodes = ctx.scale(20_000, 2_000)
+    n_edges = 24 * n_nodes
+    rng = ctx.rng()
+    graph = CSRGraph.from_edges(
+        rng.integers(0, n_nodes, size=n_edges),
+        rng.integers(0, n_nodes, size=n_edges),
+        num_nodes=n_nodes,
+    )
+    targets = rng.integers(0, n_nodes, size=ctx.scale(4_000, 400))
+    fanout = 10
+
+    def run(method: str):
+        gen = np.random.default_rng(ctx.seed)
+        return graph.sample_neighbors(
+            targets, fanout, gen, replace=False, method=method
+        )
+
+    samples, _ = run("batched")
+    elapsed = ctx.time(lambda: run("batched"))
+    reference = ctx.time(lambda: run("scalar"))
+    return ctx.result(
+        ops=int(samples.size), elapsed_s=elapsed, reference_s=reference
+    )
+
+
+@register_benchmark(
+    "mmap-faultaround",
+    tags=("micro", "host"),
+    description="fault-around window planning (ceil-div kernel vs loop)",
+)
+def _bench_mmap_faultaround(ctx):
+    from repro.host.mmap_io import (
+        fault_around_windows,
+        fault_around_windows_scalar,
+    )
+
+    n = ctx.scale(400_000, 20_000)
+    rng = ctx.rng()
+    misses = rng.integers(0, 24, size=n).astype(np.int64)
+    window = 4
+
+    elapsed = ctx.time(lambda: fault_around_windows(misses, window))
+    reference = ctx.time(
+        lambda: fault_around_windows_scalar(misses, window)
+    )
+    return ctx.result(ops=n, elapsed_s=elapsed, reference_s=reference)
+
+
+@register_benchmark(
     "event-engine",
     tags=("micro", "sim"),
     description="discrete-event loop (coalesced buckets vs per-event heap)",
@@ -299,3 +355,12 @@ def _bench_pipeline_sharded(ctx):
     return _pipeline_result(
         ctx, design="smartsage-sharded", mode="sharded", n_shards=2
     )
+
+
+@register_benchmark(
+    "pipeline-gids",
+    tags=("macro", "e2e", "gids"),
+    description="end-to-end GPU-initiated direct-access run (gids-cached)",
+)
+def _bench_pipeline_gids(ctx):
+    return _pipeline_result(ctx, design="gids-cached", mode="gids")

@@ -108,6 +108,8 @@ class ExecutionRequest:
     n_shards: int = 1
     partition: str = "edge-cut"
     prefetch_depth: int = 2
+    #: GPU-resident queue-pair depth (mode="gids")
+    qp_depth: int = 64
     graph: Optional[object] = None     # CSRGraph
     system_factory: Optional[Callable[[], object]] = None
 
@@ -142,6 +144,10 @@ class ExecutionRequest:
         if self.prefetch_depth < 1:
             raise ConfigError(
                 f"prefetch_depth must be >= 1, got {self.prefetch_depth}"
+            )
+        if self.qp_depth < 1:
+            raise ConfigError(
+                f"qp_depth must be >= 1, got {self.qp_depth}"
             )
         return self
 

@@ -34,6 +34,7 @@ def run_pipeline(
     n_shards: int = 1,
     partition: str = "edge-cut",
     prefetch_depth: int = 2,
+    qp_depth: int = 64,
     graph: Optional[object] = None,
     system_factory=None,
 ) -> PipelineResult:
@@ -49,8 +50,8 @@ def run_pipeline(
     :func:`repro.pipeline.backends.available_backends`; an unknown mode
     raises :class:`~repro.errors.ConfigError` listing the registered
     backends.  ``n_shards``/``partition``/``graph`` feed the ``sharded``
-    backend, ``prefetch_depth`` the ``async`` backend; the single-device
-    backends ignore them.  ``system_factory`` (optional) builds a fresh
+    backend, ``prefetch_depth`` the ``async`` backend, ``qp_depth`` the
+    ``gids`` backend; the single-device backends ignore them.  ``system_factory`` (optional) builds a fresh
     warmed system per device group so multi-device backends get
     independent cache state per shard; when it is given, ``system`` may
     be ``None`` and backends materialize instances lazily.
@@ -68,6 +69,7 @@ def run_pipeline(
         n_shards=n_shards,
         partition=partition,
         prefetch_depth=prefetch_depth,
+        qp_depth=qp_depth,
         graph=graph,
         system_factory=system_factory,
     ).validate()

@@ -459,3 +459,73 @@ def test_run_all_counts_failures(monkeypatch, capsys):
     captured = capsys.readouterr()
     assert "FAILED" in captured.err
     assert "ok" in captured.out
+
+
+# -- sweep key canonicalization (regression: silent key collisions) ---------
+
+
+def test_canonical_sweep_key_type_aware_and_stable():
+    """1, True, and 1.0 are distinct sweep points (they hash equal and
+    compare equal, which used to make them overwrite each other)."""
+    from repro.api.session import canonical_sweep_key
+
+    keys = {canonical_sweep_key(v) for v in (1, True, 1.0)}
+    assert len(keys) == 3
+    # cross-process stable: pure value-derived tuples, no id()/hash()
+    assert canonical_sweep_key(1.5) == ("float", "1.5")
+    assert canonical_sweep_key({"b": 2, "a": 1}) == canonical_sweep_key(
+        {"a": 1, "b": 2}
+    )
+    assert canonical_sweep_key([1, 2]) == canonical_sweep_key((1, 2))
+    assert canonical_sweep_key(None) == ("none",)
+
+
+def test_sweep_results_distinguishes_equal_keys():
+    """Regression: sweeping [1, True, 1.0] keeps three results."""
+    from repro.api.session import SweepResults
+
+    results = SweepResults()
+    for tag, value in (("int", 1), ("bool", True), ("float", 1.0)):
+        results.add(value, tag)
+    assert len(results) == 3
+    assert results[1] == "int"
+    assert results[True] == "bool"
+    assert results[1.0] == "float"
+    assert list(results) == [1, True, 1.0]
+    assert 1 in results and True in results
+    with pytest.raises(ConfigError, match="duplicate sweep point"):
+        results.add(1, "again")
+    with pytest.raises(KeyError):
+        results[2]
+
+
+def test_sweep_rejects_duplicate_points_before_running(
+    dataset, monkeypatch
+):
+    session = Session(small_spec(), dataset=dataset)
+    ran = []
+    monkeypatch.setattr(
+        Session, "run", lambda self, design=None: ran.append(1)
+    )
+    with pytest.raises(ConfigError, match="duplicate sweep point"):
+        session.sweep("n_workers", [1, 2, 1])
+    assert ran == []  # fail-fast: no point simulated
+
+
+def test_sweep_results_lookup_by_unhashable_value(dataset):
+    """hardware-override dicts are now first-class sweep keys (the old
+    repr() fallback was process-dependent for some types)."""
+    session = Session(small_spec(), dataset=dataset)
+    override = {"workload": {"hidden_dim": 32}}
+    results = session.sweep("hardware", [override])
+    assert len(results) == 1
+    assert results[override].elapsed_s > 0
+    # an equal dict with different key order finds the same point
+    assert results[{"workload": {"hidden_dim": 32}}] is results[override]
+
+
+def test_sweep_keys_iterate_as_original_values(dataset):
+    session = Session(small_spec(), dataset=dataset)
+    results = session.sweep("n_workers", [1, 2])
+    assert set(results) == {1, 2}
+    assert {k: r.n_workers for k, r in results.items()} == {1: 1, 2: 2}

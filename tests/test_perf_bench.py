@@ -33,11 +33,13 @@ def test_builtin_benchmarks_registered():
     assert len(names) >= 6
     for expected in (
         "llc-trace", "lru-batch", "flash-plan", "frontier-dedup",
-        "sampler-batch", "event-engine", "pipeline-event",
-        "pipeline-sharded",
+        "sampler-batch", "sampler-noreplace", "mmap-faultaround",
+        "event-engine", "pipeline-event", "pipeline-sharded",
+        "pipeline-gids",
     ):
         assert expected in names
     assert "pipeline-sharded" in benchmarks_with_tag("sharded")
+    assert "pipeline-gids" in benchmarks_with_tag("gids")
     assert set(benchmarks_with_tag("micro")) <= set(names)
 
 

@@ -355,3 +355,140 @@ def test_engine_coalescing_same_time_reentry():
         second.succeed()
         sim.run()
         assert order == ["outer", "second", "inner"]
+
+
+# -- without-replacement sampler (batched key top-k vs per-row loop) -------
+
+
+def _noreplace_graph(n_nodes=1500, n_edges=20000, seed=3):
+    rng = np.random.default_rng(seed)
+    return CSRGraph.from_edges(
+        rng.integers(0, n_nodes, size=n_edges),
+        rng.integers(0, n_nodes, size=n_edges),
+        num_nodes=n_nodes,
+    ), rng
+
+
+@pytest.mark.parametrize("fanout", [1, 5, 10, 40])
+def test_sampler_noreplace_batched_matches_scalar_structure(fanout):
+    """Offsets/counts are bit-identical; rows whose degree fits the
+    fanout return identical samples *and* positions; sampled rows draw
+    valid, duplicate-free subsets of their own extent."""
+    graph, rng = _noreplace_graph()
+    targets = rng.integers(0, graph.num_nodes, size=400)
+    s_b, o_b, p_b = graph.sample_neighbors(
+        targets, fanout, np.random.default_rng(1), replace=False,
+        return_positions=True, method="batched",
+    )
+    s_s, o_s, p_s = graph.sample_neighbors(
+        targets, fanout, np.random.default_rng(1), replace=False,
+        return_positions=True, method="scalar",
+    )
+    assert np.array_equal(o_b, o_s)
+    assert s_b.size == s_s.size and p_b.size == p_s.size
+    degs = graph.degrees(targets)
+    for i in range(targets.size):
+        lo, hi = int(o_b[i]), int(o_b[i + 1])
+        assert hi - lo == min(int(degs[i]), fanout)
+        row_pos = p_b[lo:hi]
+        if degs[i] <= fanout:
+            assert np.array_equal(s_b[lo:hi], s_s[lo:hi])
+            assert np.array_equal(row_pos, p_s[lo:hi])
+        assert len(set(row_pos.tolist())) == hi - lo  # no duplicates
+        assert np.all(row_pos >= graph.indptr[targets[i]])
+        assert np.all(row_pos < graph.indptr[targets[i] + 1])
+        assert np.array_equal(graph.indices[row_pos], s_b[lo:hi])
+
+
+def test_sampler_noreplace_deterministic_and_auto_is_batched():
+    graph, rng = _noreplace_graph()
+    targets = rng.integers(0, graph.num_nodes, size=200)
+    draws = [
+        graph.sample_neighbors(
+            targets, 8, np.random.default_rng(7), replace=False,
+            method=method,
+        )
+        for method in ("auto", "batched", "auto")
+    ]
+    for samples, offsets in draws[1:]:
+        assert np.array_equal(samples, draws[0][0])
+        assert np.array_equal(offsets, draws[0][1])
+
+
+def test_sampler_noreplace_edge_cases():
+    graph, _ = _noreplace_graph(n_nodes=50, n_edges=0)
+    rng = np.random.default_rng(0)
+    for method in ("batched", "scalar"):
+        samples, offsets = graph.sample_neighbors(
+            np.arange(10), 5, rng, replace=False, method=method
+        )
+        assert samples.size == 0
+        assert offsets.tolist() == [0] * 11
+    from repro.errors import GraphError
+
+    with pytest.raises(GraphError, match="method"):
+        graph.sample_neighbors(
+            np.arange(2), 5, rng, replace=False, method="quantum"
+        )
+
+
+# -- mmap fault-around windows (ceil-div kernel vs loop) --------------------
+
+
+def test_fault_around_windows_bit_identical():
+    from repro.host.mmap_io import (
+        fault_around_windows,
+        fault_around_windows_scalar,
+    )
+
+    rng = np.random.default_rng(0)
+    for _ in range(100):
+        window = int(rng.integers(1, 9))
+        misses = rng.integers(0, 40, size=int(rng.integers(0, 60)))
+        assert np.array_equal(
+            fault_around_windows(misses, window),
+            fault_around_windows_scalar(misses, window),
+        )
+    # degenerate shapes
+    assert fault_around_windows(np.empty(0, dtype=np.int64), 4).size == 0
+    assert fault_around_windows(np.zeros(5, dtype=np.int64), 4).size == 0
+    assert fault_around_windows(np.array([9]), 4).tolist() == [4, 4, 1]
+
+
+def test_plan_extents_uses_vectorized_windows():
+    """MmapReader.plan_extents emits the same window stream the scalar
+    loop produced (the reader's cache state feeds both plans)."""
+    from repro.config import HardwareParams
+    from repro.host.mmap_io import MmapReader, fault_around_windows_scalar
+    from repro.host.pagecache import OSPageCache
+    from repro.host.syscall import HostSoftware
+    from repro.storage.ssd import SSDevice
+
+    hw = HardwareParams()
+    rng = np.random.default_rng(2)
+
+    def reader():
+        return MmapReader(
+            SSDevice(hw),
+            OSPageCache(64 * 4096, 4096),
+            HostSoftware(),
+            fault_around_pages=4,
+        )
+
+    vec, ref = reader(), reader()
+    for _ in range(4):
+        first = rng.integers(0, 4096, size=200).astype(np.int64)
+        counts = rng.integers(0, 12, size=200).astype(np.int64)
+        hits_v, windows_v = vec.plan_extents(first, counts)
+        # replay the reference loop against an identical cache state
+        pages = np.repeat(first, counts) + (
+            np.arange(int(counts.sum()))
+            - np.repeat(np.cumsum(counts) - counts, counts)
+        )
+        mask = ref.page_cache.access_batch_mask(pages)
+        nonzero = counts[counts > 0]
+        offsets = np.concatenate([[0], np.cumsum(nonzero)[:-1]])
+        misses = np.add.reduceat((~mask).astype(np.int64), offsets)
+        windows_r = fault_around_windows_scalar(misses, 4)
+        assert hits_v == int(mask.sum())
+        assert np.array_equal(windows_v, windows_r)
