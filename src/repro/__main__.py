@@ -184,6 +184,13 @@ def _cmd_run_spec(path: str, compare: str = None) -> int:
             print(f"gpu idle:    {result.gpu_idle_fraction:.0%}")
             for phase, mean in result.phase_means.items():
                 print(f"  {phase:20s} {mean * 1e3:9.3f} ms/batch")
+            if result.backend_stats.get("net_bytes"):
+                bs = result.backend_stats
+                print(f"network:     {bs['net_bytes'] / 1e9:.3f} GB "
+                      f"({bs['net_messages']:.0f} messages)")
+                for cls in ("sampling_rpc", "feature_pull", "allreduce"):
+                    nbytes = bs.get(f"net_{cls}_bytes", 0.0)
+                    print(f"  {cls:20s} {nbytes / 1e9:9.3f} GB")
     except (ReproError, OSError) as exc:
         # Validation errors already name the offending field; prefix the
         # spec file so batch callers can tell which input failed.

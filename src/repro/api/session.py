@@ -427,6 +427,7 @@ class Session:
             page_buffer_frac=sys_spec.page_buffer_frac,
             features_in_dram=sys_spec.features_in_dram,
             n_shards=sys_spec.n_shards,
+            n_hosts=sys_spec.n_hosts,
             gpu_cache_mb=sys_spec.gpu_cache_mb,
         )
 
@@ -456,6 +457,8 @@ class Session:
             checkpoint_every=self.spec.checkpoint_every,
             checkpoint_bytes=self.spec.checkpoint_bytes,
             n_shards=self.spec.system.n_shards,
+            n_hosts=self.spec.system.n_hosts,
+            fabric=self.spec.system.fabric,
             partition=self.spec.system.partition,
             prefetch_depth=self.spec.prefetch_depth,
             qp_depth=self.spec.qp_depth,

@@ -81,6 +81,10 @@ class SystemSpec:
     features_in_dram: bool = True
     #: device groups for ``mode="sharded"`` (1 = single device)
     n_shards: int = 1
+    #: host replicas for ``mode="distributed"`` (1 = single host)
+    n_hosts: int = 1
+    #: network fabric topology between hosts (see repro.net.fabric)
+    fabric: str = "rack"
     #: graph partitioning method (see repro.graph.partition)
     partition: str = "edge-cut"
     #: GPU-HBM software feature-cache budget for GIDS designs (MiB)
@@ -119,7 +123,15 @@ class SystemSpec:
             f"features_in_dram must be a bool, got {self.features_in_dram!r}",
         )
         _check_positive_int("n_shards", self.n_shards)
+        _check_positive_int("n_hosts", self.n_hosts)
         check_positive_real("gpu_cache_mb", self.gpu_cache_mb)
+        from repro.net.fabric import FABRIC_TOPOLOGIES
+
+        _require(
+            self.fabric in FABRIC_TOPOLOGIES,
+            f"fabric must be one of {FABRIC_TOPOLOGIES}, "
+            f"got {self.fabric!r}",
+        )
         from repro.graph.partition import PARTITION_METHODS
 
         _require(

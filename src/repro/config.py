@@ -189,6 +189,35 @@ class GIDSParams:
 
 
 @dataclass(frozen=True)
+class FabricParams:
+    """Multi-host network fabric (NICs, TOR switches, oversubscribed spine).
+
+    Models a conventional training-cluster network: every host owns a
+    100 GbE-class NIC into its top-of-rack switch (the *intra-rack*
+    tier), and racks of ``rack_size`` hosts share one uplink into the
+    spine (the *cross-rack* tier).  ``oversubscription`` is the usual
+    rack fan-in ratio: the per-host bandwidth actually available across
+    racks is ``cross_rack_bandwidth / oversubscription`` in the
+    analytic model; the event-driven model instead makes all hosts of a
+    rack contend for the one shared uplink, so the same ratio emerges
+    from queueing.  RPC costs model the DistDGL-style request/response
+    message pairs (serialize + dispatch per message, plus a per-byte
+    marshalling cost on the payload).
+    """
+
+    intra_rack_bandwidth: float = 12.5e9   # 100 GbE effective, per host NIC
+    intra_rack_latency_s: float = 3e-6     # NIC + TOR switch hop
+    cross_rack_bandwidth: float = 12.5e9   # one shared uplink per rack
+    cross_rack_latency_s: float = 12e-6    # NIC + TOR + spine + TOR
+    oversubscription: float = 4.0          # rack fan-in (hosts per uplink)
+    rack_size: int = 4                     # hosts behind one TOR uplink
+    rpc_fixed_s: float = 8e-6              # per-message serialize + dispatch
+    rpc_per_byte_s: float = 0.05e-9        # payload marshalling (~20 GB/s)
+    grad_dtype_bytes: int = 4              # gradient element width
+    allreduce: str = "ring"                # "ring" or "tree" collective
+
+
+@dataclass(frozen=True)
 class WorkloadParams:
     """GraphSAGE training-loop defaults from the paper (Section V)."""
 
@@ -217,6 +246,7 @@ class HardwareParams:
     gpu: GPUParams = GPUParams()
     fpga: FPGAParams = FPGAParams()
     gids: GIDSParams = GIDSParams()
+    fabric: FabricParams = FabricParams()
     workload: WorkloadParams = WorkloadParams()
 
     def replace(self, **kwargs) -> "HardwareParams":

@@ -154,6 +154,9 @@ class DesignContext:
     #: device groups the run will be sharded across (mode="sharded");
     #: shard-aware builders size per-shard components against the slice
     n_shards: int = 1
+    #: host replicas the run spans (mode="distributed"); each host holds
+    #: ``n_shards`` device groups, so per-device slices shrink further
+    n_hosts: int = 1
     #: GPU-HBM software feature cache budget for GIDS designs (MiB)
     gpu_cache_mb: float = 64.0
     edge_layout: EdgeListLayout = field(init=False)
@@ -182,7 +185,7 @@ class DesignContext:
     @property
     def shard_fraction(self) -> float:
         """Fraction of the dataset one shard-local device stores."""
-        return 1.0 / max(1, self.n_shards)
+        return 1.0 / max(1, self.n_shards * self.n_hosts)
 
     def make_ssd(
         self,
@@ -395,6 +398,7 @@ def build_system(
     page_buffer_frac: float = 0.003,
     features_in_dram: bool = True,
     n_shards: int = 1,
+    n_hosts: int = 1,
     gpu_cache_mb: float = 64.0,
 ) -> TrainingSystem:
     """Assemble one design point sized against ``dataset``.
@@ -425,6 +429,8 @@ def build_system(
     check_bool("features_in_dram", features_in_dram)
     if n_shards < 1:
         raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+    if n_hosts < 1:
+        raise ConfigError(f"n_hosts must be >= 1, got {n_hosts}")
     gpu_cache_mb = check_positive_real("gpu_cache_mb", gpu_cache_mb)
     hw = hw or default_hardware()
     ctx = DesignContext(
@@ -437,6 +443,7 @@ def build_system(
         page_buffer_frac=page_buffer_frac,
         features_in_dram=features_in_dram,
         n_shards=n_shards,
+        n_hosts=n_hosts,
         gpu_cache_mb=gpu_cache_mb,
     )
     system = entry.builder(ctx)

@@ -34,6 +34,7 @@ from repro.experiments import (  # noqa: F401
     fig20_graphsaint,
     fig21_sampling_rate,
     gids_vs_isp,
+    host_scaling,
     sensitivity_batch,
     shard_scaling,
     table1_datasets,
@@ -72,6 +73,7 @@ ALL_EXPERIMENTS = {
     "cache-sensitivity": cache_sensitivity,
     "depth-sensitivity": depth_sensitivity,
     "shard-scaling": shard_scaling,
+    "host-scaling": host_scaling,
     "gids-vs-isp": gids_vs_isp,
 }
 

@@ -142,8 +142,17 @@ class GraphPartition:
 
 
 def _edge_cut_owner(graph: CSRGraph, n_shards: int) -> np.ndarray:
-    """Contiguous node ranges with ~equal edge counts per range."""
+    """Contiguous node ranges with ~equal edge counts per range.
+
+    Every shard is non-empty whenever ``n_shards <= num_nodes``; with
+    more shards than nodes the first ``num_nodes`` shards get one node
+    each and the rest stay empty (a well-formed, zero-cut tail).
+    """
     n = graph.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int32)
+    if n_shards >= n:
+        return np.arange(n, dtype=np.int32)
     targets = (
         np.arange(1, n_shards, dtype=np.float64)
         * graph.num_edges / n_shards
@@ -190,6 +199,10 @@ def partition_graph(
     ``method`` is one of :data:`PARTITION_METHODS`; alternatively pass
     a precomputed ``owner`` array (recorded as method ``"custom"``) to
     bring an external partitioner's output into the same accounting.
+
+    Degenerate shapes stay well-formed rather than erroring: more
+    shards than nodes leaves the surplus shards empty, and single-node
+    or edge-free graphs partition with zero cut edges.
     """
     if not isinstance(graph, CSRGraph):
         raise ConfigError(
@@ -197,10 +210,6 @@ def partition_graph(
         )
     if n_shards < 1:
         raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
-    if n_shards > max(1, graph.num_nodes):
-        raise ConfigError(
-            f"cannot cut {graph.num_nodes} nodes into {n_shards} shards"
-        )
     if owner is not None:
         owner = np.asarray(owner, dtype=np.int32)
         if owner.shape != (graph.num_nodes,):

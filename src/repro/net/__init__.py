@@ -1,0 +1,51 @@
+"""Simulated multi-host network fabric.
+
+The single-node simulator models every data movement as a device-local
+resource (flash lanes, embedded cores, PCIe links); this package adds
+the missing tier for multi-*host* execution: a rack-structured network
+fabric with per-link latency/bandwidth resources
+(:mod:`repro.net.fabric`), an RPC layer that prices request/response
+message pairs including serialization (:mod:`repro.net.rpc`), and
+analytic cost models for the gradient collectives
+(:mod:`repro.net.collectives`).  Traffic is accounted by *class* --
+remote-sampling RPCs, feature pulls, gradient all-reduce -- so the
+``distributed`` backend can report exactly where the network bytes go.
+"""
+
+from repro.net.collectives import (
+    ALLREDUCE_ALGORITHMS,
+    allreduce_bytes_total,
+    allreduce_host_share_bytes,
+    allreduce_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+from repro.net.fabric import (
+    ALLREDUCE,
+    FABRIC_TOPOLOGIES,
+    FEATURE_PULL,
+    SAMPLING_RPC,
+    TRAFFIC_CLASSES,
+    FabricState,
+    NetworkFabric,
+    TrafficAccount,
+)
+from repro.net.rpc import RpcChannel
+
+__all__ = [
+    "ALLREDUCE",
+    "ALLREDUCE_ALGORITHMS",
+    "FABRIC_TOPOLOGIES",
+    "FEATURE_PULL",
+    "SAMPLING_RPC",
+    "TRAFFIC_CLASSES",
+    "FabricState",
+    "NetworkFabric",
+    "RpcChannel",
+    "TrafficAccount",
+    "allreduce_bytes_total",
+    "allreduce_host_share_bytes",
+    "allreduce_time",
+    "ring_allreduce_time",
+    "tree_allreduce_time",
+]

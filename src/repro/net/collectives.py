@@ -1,0 +1,101 @@
+"""Analytic cost models for the gradient collectives.
+
+Two standard all-reduce algorithms, priced against a
+:class:`~repro.net.fabric.NetworkFabric`:
+
+``ring``
+    bandwidth-optimal: each host sends ``2*(H-1)`` chunks of
+    ``nbytes/H`` around the ring (reduce-scatter + all-gather), so the
+    per-host wire traffic is ``2*(H-1)/H * nbytes`` and the critical
+    path is ``2*(H-1)`` rounds gated by the slowest link.
+``tree``
+    latency-optimal: ``ceil(log2 H)`` reduce rounds up a binomial tree
+    followed by the mirror broadcast; every round moves the full
+    ``nbytes``, so small-message latency wins but bandwidth loses a
+    factor ``H*log2(H)/(2*(H-1))`` versus the ring.
+
+Byte totals are what the traffic account reports -- wire bytes summed
+over all hosts -- while the ``*_time`` functions give the critical-path
+duration the trainers stall for.  All functions degenerate to zero for
+a single host or an empty gradient, preserving single-host parity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.net.fabric import NetworkFabric
+
+__all__ = [
+    "ALLREDUCE_ALGORITHMS",
+    "allreduce_bytes_total",
+    "allreduce_host_share_bytes",
+    "allreduce_time",
+    "ring_allreduce_time",
+    "tree_allreduce_time",
+]
+
+ALLREDUCE_ALGORITHMS = ("ring", "tree")
+
+
+def _check_bytes(nbytes: int) -> None:
+    if nbytes < 0:
+        raise ConfigError(f"negative all-reduce size {nbytes}")
+
+
+def allreduce_host_share_bytes(n_hosts: int, nbytes: int) -> float:
+    """Wire bytes one host sends for a ring all-reduce of ``nbytes``."""
+    _check_bytes(nbytes)
+    if n_hosts <= 1 or nbytes == 0:
+        return 0.0
+    return 2.0 * (n_hosts - 1) / n_hosts * nbytes
+
+
+def allreduce_bytes_total(n_hosts: int, nbytes: int) -> float:
+    """Wire bytes summed over all hosts (``H`` ring shares)."""
+    _check_bytes(nbytes)
+    if n_hosts <= 1 or nbytes == 0:
+        return 0.0
+    return 2.0 * (n_hosts - 1) * nbytes
+
+
+def ring_allreduce_time(fabric: NetworkFabric, nbytes: int) -> float:
+    """Critical-path time of a ring all-reduce on ``fabric``."""
+    _check_bytes(nbytes)
+    h = fabric.n_hosts
+    if h <= 1 or nbytes == 0:
+        return 0.0
+    chunk = nbytes / h
+    rounds = 2 * (h - 1)
+    per_round = fabric.max_latency_s() + chunk / fabric.bottleneck_bandwidth()
+    return rounds * per_round
+
+
+def tree_allreduce_time(fabric: NetworkFabric, nbytes: int) -> float:
+    """Critical-path time of a binomial-tree reduce + broadcast."""
+    _check_bytes(nbytes)
+    h = fabric.n_hosts
+    if h <= 1 or nbytes == 0:
+        return 0.0
+    rounds = 2 * math.ceil(math.log2(h))
+    per_round = fabric.max_latency_s() + nbytes / fabric.bottleneck_bandwidth()
+    return rounds * per_round
+
+
+def allreduce_time(
+    fabric: NetworkFabric,
+    nbytes: int,
+    algorithm: Optional[str] = None,
+) -> float:
+    """Dispatch on ``algorithm`` (default: ``FabricParams.allreduce``)."""
+    algo = algorithm if algorithm is not None else fabric.params.allreduce
+    if algo == "ring":
+        return ring_allreduce_time(fabric, nbytes)
+    if algo == "tree":
+        return tree_allreduce_time(fabric, nbytes)
+    raise ConfigError(
+        f"fabric.allreduce must be one of {ALLREDUCE_ALGORITHMS}, "
+        f"got {algo!r}"
+    )

@@ -364,3 +364,14 @@ def _bench_pipeline_sharded(ctx):
 )
 def _bench_pipeline_gids(ctx):
     return _pipeline_result(ctx, design="gids-cached", mode="gids")
+
+
+@register_benchmark(
+    "pipeline-distributed",
+    tags=("macro", "e2e", "distributed"),
+    description="end-to-end distributed-backend run (2 hosts over the rack fabric)",
+)
+def _bench_pipeline_distributed(ctx):
+    return _pipeline_result(
+        ctx, design="smartsage-sharded", mode="distributed", n_hosts=2
+    )

@@ -12,6 +12,7 @@ register through :mod:`repro.api.registry`.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -106,6 +107,10 @@ class ExecutionRequest:
     checkpoint_bytes: int = 0
     # -- scale-out axes ----------------------------------------------------
     n_shards: int = 1
+    #: host replicas (mode="distributed"); each holds ``n_shards`` groups
+    n_hosts: int = 1
+    #: network fabric topology between hosts (mode="distributed")
+    fabric: str = "rack"
     partition: str = "edge-cut"
     prefetch_depth: int = 2
     #: GPU-resident queue-pair depth (mode="gids")
@@ -126,28 +131,47 @@ class ExecutionRequest:
             return self.system_factory()
         return self.system
 
+    def _check_count(self, name: str, minimum: int = 1) -> None:
+        """Require an integral field ``>= minimum``, naming the field
+        and its legal range in the error (a bad shard/host count must
+        fail here, not as an IndexError deep in graph partitioning)."""
+        value = getattr(self, name)
+        try:
+            if isinstance(value, bool):
+                raise TypeError
+            as_int = operator.index(value)
+        except TypeError:
+            raise ConfigError(
+                f"{name} must be an integer >= {minimum}, "
+                f"got {value!r}"
+            ) from None
+        if as_int < minimum:
+            raise ConfigError(
+                f"{name} must be >= {minimum}, got {as_int}"
+            )
+        setattr(self, name, as_int)
+
     def validate(self) -> "ExecutionRequest":
         if self.system is None and self.system_factory is None:
             raise ConfigError("need a system or a system_factory")
-        if self.n_batches <= 0 or self.n_workers <= 0:
-            raise ConfigError("n_batches and n_workers must be positive")
         if not self.workloads:
             raise ConfigError("need at least one workload")
-        if self.queue_depth <= 0:
+        for name in ("n_batches", "n_workers", "queue_depth",
+                     "n_shards", "n_hosts", "prefetch_depth", "qp_depth"):
+            self._check_count(name)
+        from repro.graph.partition import PARTITION_METHODS
+
+        if self.partition not in PARTITION_METHODS:
             raise ConfigError(
-                f"queue_depth must be positive, got {self.queue_depth}"
+                f"partition must be one of {PARTITION_METHODS}, "
+                f"got {self.partition!r}"
             )
-        if self.n_shards < 1:
+        from repro.net.fabric import FABRIC_TOPOLOGIES
+
+        if self.fabric not in FABRIC_TOPOLOGIES:
             raise ConfigError(
-                f"n_shards must be >= 1, got {self.n_shards}"
-            )
-        if self.prefetch_depth < 1:
-            raise ConfigError(
-                f"prefetch_depth must be >= 1, got {self.prefetch_depth}"
-            )
-        if self.qp_depth < 1:
-            raise ConfigError(
-                f"qp_depth must be >= 1, got {self.qp_depth}"
+                f"fabric must be one of {FABRIC_TOPOLOGIES}, "
+                f"got {self.fabric!r}"
             )
         return self
 

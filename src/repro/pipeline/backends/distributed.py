@@ -1,0 +1,45 @@
+"""Distributed multi-host backend registrations.
+
+``mode="distributed"`` is the event-driven face: N host replicas of
+sharded device groups exchanging remote-sampling RPCs, feature pulls,
+and gradient all-reduce traffic over the simulated network fabric
+(:mod:`repro.net`), coordinated by
+:class:`~repro.distributed.coordinator.DistributedCoordinator`.
+``mode="distributed-analytic"`` is the closed-form face sharing the
+same planner, so both faces report identical network byte counters.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.backends.base import ExecutionRequest, PipelineResult
+from repro.pipeline.backends.registry import register_backend
+
+__all__ = []
+
+# The coordinator module itself imports backends.sharded (whose
+# registration re-enters _ensure_builtin and hence this module), so the
+# coordinator import must stay inside the plan functions.
+
+
+@register_backend(
+    "distributed",
+    description="N host replicas of sharded groups over a network fabric",
+    needs_graph=True,
+)
+def _plan_distributed(request: ExecutionRequest) -> PipelineResult:
+    from repro.distributed.coordinator import DistributedCoordinator
+
+    return DistributedCoordinator(request).run()
+
+
+@register_backend(
+    "distributed-analytic",
+    description="closed-form multi-host model (same traffic accounting)",
+    needs_graph=True,
+)
+def _plan_distributed_analytic(
+    request: ExecutionRequest,
+) -> PipelineResult:
+    from repro.distributed.coordinator import DistributedCoordinator
+
+    return DistributedCoordinator(request).analytic()

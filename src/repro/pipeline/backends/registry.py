@@ -16,7 +16,8 @@ pipelines, GIDS-style drop-in engines -- plug in without touching
 A backend is either a function ``plan(request) -> PipelineResult`` or a
 subclass of :class:`~repro.pipeline.backends.base.ExecutionBackend`
 (instantiated once at registration).  The built-in backends (``event``,
-``analytic``, ``sharded``, ``async``, ``gids``) register on first use;
+``analytic``, ``sharded``, ``async``, ``gids``, ``distributed``,
+``distributed-analytic``) register on first use;
 this module imports them lazily so ``available_backends()`` is always
 complete.
 """
@@ -77,6 +78,7 @@ def _ensure_builtin() -> None:
         try:
             import repro.pipeline.backends.analytic    # noqa: F401
             import repro.pipeline.backends.async_prefetch  # noqa: F401
+            import repro.pipeline.backends.distributed  # noqa: F401
             import repro.pipeline.backends.event       # noqa: F401
             import repro.pipeline.backends.gids        # noqa: F401
             import repro.pipeline.backends.sharded     # noqa: F401

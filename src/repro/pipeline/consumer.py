@@ -60,6 +60,7 @@ class GPUConsumer:
             )
             self.utilization.set_idle(sim.now)
             self.batches_done += 1
+            yield from self._post_train(sim)
             if (
                 self.ssd is not None
                 and self.checkpoint_every > 0
@@ -76,6 +77,17 @@ class GPUConsumer:
                 )
                 self.checkpoints_written += 1
         self.finished_at = sim.now
+
+    def _post_train(self, sim):
+        """Subclass hook run after each batch's training step.
+
+        The base consumer does nothing and schedules no events, so
+        subclasses that stay silent preserve the event schedule
+        bit-for-bit (the distributed backend's gradient all-reduce
+        plugs in here).
+        """
+        return
+        yield  # unreachable; makes the base hook a generator
 
     def idle_fraction(self, now: float) -> float:
         return self.utilization.idle_fraction(now)

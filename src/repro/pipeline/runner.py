@@ -32,6 +32,8 @@ def run_pipeline(
     checkpoint_every: int = 0,
     checkpoint_bytes: int = 0,
     n_shards: int = 1,
+    n_hosts: int = 1,
+    fabric: str = "rack",
     partition: str = "edge-cut",
     prefetch_depth: int = 2,
     qp_depth: int = 64,
@@ -50,6 +52,7 @@ def run_pipeline(
     :func:`repro.pipeline.backends.available_backends`; an unknown mode
     raises :class:`~repro.errors.ConfigError` listing the registered
     backends.  ``n_shards``/``partition``/``graph`` feed the ``sharded``
+    backend, ``n_hosts``/``fabric`` additionally the ``distributed``
     backend, ``prefetch_depth`` the ``async`` backend, ``qp_depth`` the
     ``gids`` backend; the single-device backends ignore them.  ``system_factory`` (optional) builds a fresh
     warmed system per device group so multi-device backends get
@@ -67,6 +70,8 @@ def run_pipeline(
         checkpoint_every=checkpoint_every,
         checkpoint_bytes=checkpoint_bytes,
         n_shards=n_shards,
+        n_hosts=n_hosts,
+        fabric=fabric,
         partition=partition,
         prefetch_depth=prefetch_depth,
         qp_depth=qp_depth,

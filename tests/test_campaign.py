@@ -38,7 +38,7 @@ PAPER_EXPERIMENTS = (
 EXTENSION_EXPERIMENTS = (
     "calibration", "energy", "batch-sensitivity", "ablations",
     "fidelity", "cache-sensitivity", "depth-sensitivity",
-    "shard-scaling", "gids-vs-isp",
+    "shard-scaling", "host-scaling", "gids-vs-isp",
 )
 
 

@@ -30,6 +30,56 @@ def test_event_and_sharded_k1_identical_from_same_spec():
     assert sharded.n_shards == 1
 
 
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_distributed_single_host_identical_to_sharded(n_shards):
+    """distributed(n_hosts=1) replays the sharded event schedule
+    bit-for-bit from the same spec, at every shard count."""
+    system = SystemSpec(design="ssd-mmap", n_shards=n_shards)
+    sharded = Session(spec(mode="sharded", system=system)).run()
+    dist = Session(spec(mode="distributed", system=system)).run()
+    assert dist.elapsed_s == sharded.elapsed_s
+    assert dist.gpu_busy_s == sharded.gpu_busy_s
+    assert dist.phase_means == sharded.phase_means
+    assert dist.n_shards == n_shards
+    # single host: every cross-host counter reports zero
+    assert dist.backend_stats["net_bytes"] == 0.0
+    assert dist.backend_stats["net_messages"] == 0.0
+    for cls in ("sampling_rpc", "feature_pull", "allreduce"):
+        assert dist.backend_stats[f"net_{cls}_bytes"] == 0.0
+
+
+def test_distributed_identical_across_repeats():
+    s = spec(
+        mode="distributed",
+        system=SystemSpec(design="ssd-mmap", n_hosts=2, n_shards=2),
+    )
+    first = Session(s).run()
+    second = Session(s).run()
+    assert first == second  # full PipelineResult, net stats included
+
+
+def test_distributed_records_identical_across_campaign_jobs():
+    from repro.api.campaign import Campaign
+    from repro.experiments.common import ExperimentConfig
+
+    cfg = ExperimentConfig(
+        edge_budget=2e5, batch_size=16, n_workloads=4
+    )
+
+    def records(jobs):
+        result = Campaign(
+            experiments=["host-scaling"], cfg=cfg, jobs=jobs
+        ).run()
+        outcome = result.outcomes["host-scaling"]
+        assert outcome.ok, outcome.error
+        return [r.to_dict() for r in outcome.records]
+
+    serial, parallel = records(1), records(2)
+    for a, b in zip(serial, parallel):
+        a.pop("provenance"), b.pop("provenance")
+    assert serial == parallel
+
+
 def test_async_monotone_in_prefetch_depth_from_spec():
     session = Session(spec(mode="async", n_workers=4, n_batches=16))
     results = session.sweep("prefetch_depth", [1, 2, 4, 8])

@@ -1,0 +1,240 @@
+"""Tests for the simulated network fabric (repro.net)."""
+
+import pytest
+
+from repro.config import FabricParams
+from repro.errors import ConfigError
+from repro.net import (
+    ALLREDUCE,
+    FABRIC_TOPOLOGIES,
+    FEATURE_PULL,
+    SAMPLING_RPC,
+    TRAFFIC_CLASSES,
+    NetworkFabric,
+    RpcChannel,
+    TrafficAccount,
+    allreduce_bytes_total,
+    allreduce_host_share_bytes,
+    allreduce_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def fabric():
+    return NetworkFabric(FabricParams(), 8, topology="rack")
+
+
+# -- topology ---------------------------------------------------------------
+
+
+def test_rack_topology_groups_hosts(fabric):
+    assert fabric.n_racks == 2
+    assert fabric.rack_of(0) == fabric.rack_of(3) == 0
+    assert fabric.rack_of(4) == fabric.rack_of(7) == 1
+    assert fabric.same_rack(1, 2)
+    assert not fabric.same_rack(3, 4)
+
+
+def test_flat_topology_is_one_rack():
+    flat = NetworkFabric(FabricParams(), 8, topology="flat")
+    assert flat.n_racks == 1
+    assert flat.same_rack(0, 7)
+    p = flat.params
+    assert flat.path_bandwidth(0, 7) == p.intra_rack_bandwidth
+    assert flat.path_latency_s(0, 7) == p.intra_rack_latency_s
+
+
+def test_fabric_validation():
+    with pytest.raises(ConfigError):
+        NetworkFabric(FabricParams(), 0)
+    with pytest.raises(ConfigError):
+        NetworkFabric(FabricParams(), 4, topology="torus")
+    with pytest.raises(ConfigError):
+        NetworkFabric(FabricParams(rack_size=0), 4)
+    with pytest.raises(ConfigError):
+        NetworkFabric(FabricParams(oversubscription=0.5), 4)
+    assert "flat" in FABRIC_TOPOLOGIES and "rack" in FABRIC_TOPOLOGIES
+
+
+# -- analytic transfer costs ------------------------------------------------
+
+
+def test_cross_rack_pays_oversubscription(fabric):
+    p = fabric.params
+    nbytes = 1 << 20
+    intra = fabric.transfer_time(0, 1, nbytes)
+    cross = fabric.transfer_time(0, 5, nbytes)
+    assert intra == pytest.approx(
+        p.intra_rack_latency_s + nbytes / p.intra_rack_bandwidth
+    )
+    assert cross == pytest.approx(
+        p.cross_rack_latency_s
+        + nbytes / (p.cross_rack_bandwidth / p.oversubscription)
+    )
+    assert cross > intra
+
+
+def test_self_and_zero_transfers_are_free(fabric):
+    assert fabric.transfer_time(3, 3, 1 << 20) == 0.0
+    assert fabric.transfer_time(0, 5, 0) == 0.0
+    with pytest.raises(ConfigError):
+        fabric.transfer_time(0, 5, -1)
+    with pytest.raises(ConfigError):
+        fabric.transfer_time(0, 9, 64)
+
+
+# -- traffic accounting -----------------------------------------------------
+
+
+def test_traffic_account_by_class():
+    acct = TrafficAccount()
+    acct.add(SAMPLING_RPC, 100)
+    acct.add(SAMPLING_RPC, 50)
+    acct.add(FEATURE_PULL, 7)
+    assert acct.bytes_by_class[SAMPLING_RPC] == 150
+    assert acct.total_bytes == 157
+    assert acct.total_messages == 3
+    stats = acct.stats()
+    assert stats["net_sampling_rpc_bytes"] == 150.0
+    assert stats["net_feature_pull_bytes"] == 7.0
+    assert stats["net_allreduce_bytes"] == 0.0
+    assert stats["net_bytes"] == 157.0
+    assert stats["net_messages"] == 3.0
+    with pytest.raises(ConfigError):
+        acct.add("gossip", 10)
+    with pytest.raises(ConfigError):
+        acct.add(ALLREDUCE, -1)
+    assert set(TRAFFIC_CLASSES) == {
+        SAMPLING_RPC, FEATURE_PULL, ALLREDUCE
+    }
+
+
+# -- event-driven face ------------------------------------------------------
+
+
+def test_attached_transfer_accounts_and_advances_time(fabric):
+    sim = Simulator()
+    state = fabric.attach(sim)
+
+    def mover():
+        yield from state.transfer(0, 5, 4096, FEATURE_PULL)
+
+    sim.process(mover())
+    sim.run()
+    assert sim.now > 0.0
+    assert state.account.bytes_by_class[FEATURE_PULL] == 4096
+
+
+def test_attached_self_transfer_schedules_nothing(fabric):
+    sim = Simulator()
+    state = fabric.attach(sim)
+
+    def mover():
+        yield from state.transfer(2, 2, 4096, FEATURE_PULL)
+        yield from state.transfer(0, 5, 0, FEATURE_PULL)
+
+    sim.process(mover())
+    sim.run()
+    assert sim.now == 0.0
+    assert state.account.total_bytes == 0
+
+
+def test_rack_uplink_serializes_cross_rack_flows(fabric):
+    # two concurrent same-rack senders to the other rack contend for
+    # their rack's single uplink; different-rack senders do not
+    nbytes = 1 << 22
+
+    def run_pair(srcs, dsts):
+        sim = Simulator()
+        state = fabric.attach(sim)
+        for s, d in zip(srcs, dsts):
+            def mover(s=s, d=d):
+                yield from state.transfer(s, d, nbytes, SAMPLING_RPC)
+            sim.process(mover())
+        sim.run()
+        return sim.now
+
+    shared = run_pair([0, 1], [4, 5])      # both through rack0 uplink
+    disjoint = run_pair([0, 4], [4, 0])    # each through its own uplink
+    assert shared > disjoint
+
+
+# -- RPC layer --------------------------------------------------------------
+
+
+def test_rpc_analytic_round_trip(fabric):
+    ch = RpcChannel(fabric)
+    t = ch.rpc_time(0, 1, 1000, 8000)
+    expected = (
+        ch.serialize_s(1000) + fabric.transfer_time(0, 1, 1000)
+        + ch.serialize_s(8000) + fabric.transfer_time(1, 0, 8000)
+    )
+    assert t == pytest.approx(expected)
+    assert ch.rpc_time(3, 3, 1000, 8000) == 0.0
+
+
+def test_rpc_des_face_accounts_both_directions(fabric):
+    sim = Simulator()
+    state = fabric.attach(sim)
+    ch = RpcChannel(fabric, state)
+
+    def caller():
+        yield from ch.call(0, 5, 1000, 8000, SAMPLING_RPC)
+
+    sim.process(caller())
+    sim.run()
+    assert ch.calls == 1
+    assert state.account.bytes_by_class[SAMPLING_RPC] == 9000
+    assert state.account.messages_by_class[SAMPLING_RPC] == 2
+    assert sim.now >= ch.serialize_s(1000) + ch.serialize_s(8000)
+
+
+def test_rpc_des_needs_attached_state(fabric):
+    ch = RpcChannel(fabric)
+    with pytest.raises(ConfigError):
+        next(ch.call(0, 1, 10, 10, SAMPLING_RPC))
+
+
+# -- collectives ------------------------------------------------------------
+
+
+def test_allreduce_byte_shares():
+    grad = 1_000_000
+    assert allreduce_host_share_bytes(1, grad) == 0.0
+    assert allreduce_bytes_total(1, grad) == 0.0
+    assert allreduce_host_share_bytes(4, grad) == pytest.approx(
+        2 * 3 / 4 * grad
+    )
+    assert allreduce_bytes_total(4, grad) == pytest.approx(2 * 3 * grad)
+    # total is host share summed over hosts
+    assert allreduce_bytes_total(4, grad) == pytest.approx(
+        4 * allreduce_host_share_bytes(4, grad)
+    )
+
+
+def test_ring_vs_tree_costs(fabric):
+    grad = 64 << 20
+    ring = ring_allreduce_time(fabric, grad)
+    tree = tree_allreduce_time(fabric, grad)
+    assert ring > 0.0 and tree > 0.0
+    # large message: bandwidth-optimal ring wins
+    assert ring < tree
+    single = NetworkFabric(FabricParams(), 1)
+    assert ring_allreduce_time(single, grad) == 0.0
+    assert tree_allreduce_time(single, grad) == 0.0
+    assert allreduce_time(fabric, 0) == 0.0
+
+
+def test_allreduce_dispatch(fabric):
+    grad = 1 << 20
+    assert allreduce_time(fabric, grad) == pytest.approx(
+        ring_allreduce_time(fabric, grad)
+    )
+    assert allreduce_time(fabric, grad, algorithm="tree") == pytest.approx(
+        tree_allreduce_time(fabric, grad)
+    )
+    with pytest.raises(ConfigError):
+        allreduce_time(fabric, grad, algorithm="butterfly")

@@ -122,8 +122,6 @@ def test_partition_validation(graph):
     with pytest.raises(ConfigError):
         partition_graph(graph, 0)
     with pytest.raises(ConfigError):
-        partition_graph(graph, graph.num_nodes + 1)
-    with pytest.raises(ConfigError):
         partition_graph(graph, 2, method="metis")
     with pytest.raises(ConfigError):
         partition_graph("not a graph", 2)
@@ -133,3 +131,46 @@ def test_partition_validation(graph):
         partition_graph(
             graph, 2, owner=np.full(graph.num_nodes, 5)
         )
+
+
+@pytest.mark.parametrize("method", PARTITION_METHODS)
+def test_more_shards_than_nodes_is_well_formed(method):
+    # K > num_nodes: surplus shards stay empty, partition stays valid
+    g = CSRGraph.from_adjacency([[1, 2], [2], [0]])
+    part = partition_graph(g, 8, method=method)
+    assert part.owner.shape == (3,)
+    assert part.owner.min() >= 0 and part.owner.max() < 8
+    assert int(part.shard_nodes.sum()) == 3
+    assert np.count_nonzero(part.shard_nodes) == 3
+    assert part.shard_nodes.size == 8
+    # empty shards contribute nothing anywhere
+    assert int(part.shard_degrees.sum()) == g.num_edges
+    assert (part.replication[part.shard_nodes == 0] == 0).all()
+    # stats stay finite
+    for value in part.stats().values():
+        assert np.isfinite(value)
+
+
+@pytest.mark.parametrize("method", PARTITION_METHODS)
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_single_node_graph_partitions_with_zero_cut(method, n_shards):
+    g = CSRGraph.from_adjacency([[]])
+    part = partition_graph(g, n_shards, method=method)
+    assert part.owner.shape == (1,)
+    assert part.cut_edges == 0
+    assert part.cut_fraction == 0.0
+    assert part.replication_factor == 1.0
+    assert int(part.shard_nodes.sum()) == 1
+
+
+@pytest.mark.parametrize("method", PARTITION_METHODS)
+def test_empty_shards_have_empty_node_lists(method):
+    g = CSRGraph.from_adjacency([[1], [0]])
+    part = partition_graph(g, 5, method=method)
+    empties = [
+        k for k in range(5) if part.shard_nodes[k] == 0
+    ]
+    assert len(empties) == 3
+    for k in empties:
+        assert part.nodes_of(k).size == 0
+        assert part.local_fraction([], k) == 1.0

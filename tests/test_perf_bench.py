@@ -35,11 +35,12 @@ def test_builtin_benchmarks_registered():
         "llc-trace", "lru-batch", "flash-plan", "frontier-dedup",
         "sampler-batch", "sampler-noreplace", "mmap-faultaround",
         "event-engine", "pipeline-event", "pipeline-sharded",
-        "pipeline-gids",
+        "pipeline-gids", "pipeline-distributed",
     ):
         assert expected in names
     assert "pipeline-sharded" in benchmarks_with_tag("sharded")
     assert "pipeline-gids" in benchmarks_with_tag("gids")
+    assert "pipeline-distributed" in benchmarks_with_tag("distributed")
     assert set(benchmarks_with_tag("micro")) <= set(names)
 
 
