@@ -1,0 +1,66 @@
+"""Campaign service walkthrough: submit, serve, resubmit, recover.
+
+1. build a small pool of heterogeneous RunSpecs (event, sharded, GIDS,
+   distributed) and submit them — some twice — to a service;
+2. drain with a 2-worker tier and read the serving report (latency
+   percentiles, queue depth, utilization, served fraction);
+3. resubmit the identical specs to a *fresh* service on the same state
+   directory: everything is answered from the disk result store;
+4. peek at the journaled state the whole thing persists through.
+
+Run:  python examples/service_quickstart.py
+"""
+
+import json
+import os
+import tempfile
+
+from repro.service import CampaignService
+from repro.service.traffic import spec_pool
+
+
+def main() -> None:
+    state = os.path.join(tempfile.mkdtemp(), "state")
+
+    # -- 1. submit a heterogeneous batch (with duplicates) -----------------
+    # tiny specs so the example finishes in seconds
+    pool = spec_pool(4, edge_budget=5e4, batch_size=8, n_batches=2)
+    print("spec mix:", ", ".join(s.mode for s in pool))
+    with CampaignService(state, workers=2, executor="thread") as service:
+        for spec in pool:
+            service.submit(spec)
+        for spec in pool[:2]:          # duplicates coalesce or hit the
+            service.submit(spec)       # store; they never re-simulate
+
+        # -- 2. drain and report ------------------------------------------
+        report = service.drain()
+    print()
+    print("first drain (cold store):")
+    print(report.summary())
+
+    # -- 3. identical resubmission: served, not simulated ------------------
+    with CampaignService(state, workers=2, executor="thread") as service:
+        for spec in pool:
+            service.submit(spec)
+        report = service.drain()
+    print()
+    print("second drain (warm store):")
+    print(report.summary())
+    assert report.served_fraction == 1.0
+
+    # -- 4. the persistent state behind it ---------------------------------
+    print()
+    print("state directory:", state)
+    with open(os.path.join(state, "journal.jsonl")) as f:
+        events = [json.loads(line) for line in f]
+    kinds = {}
+    for event in events:
+        kinds[event["e"]] = kinds.get(event["e"], 0) + 1
+    print(f"journal: {len(events)} events {kinds}")
+    store_dir = os.path.join(state, "store")
+    print(f"store:   {len(os.listdir(store_dir))} records "
+          f"(content-addressed, byte-identical across processes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,9 @@ Usage::
     python -m repro bench llc-trace --smoke   # a quick subset
     python -m repro bench --baseline bench/baseline   # regression gate
     python -m repro calibrate                 # headline ratios
+    python -m repro submit state/ spec.json   # spool a spec submission
+    python -m repro serve state/ --workers 2 --once   # drain the queue
+    python -m repro status state/             # queue + store state
 """
 
 from __future__ import annotations
@@ -140,6 +143,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print a machine-readable summary instead of text",
     )
     sub.add_parser("calibrate", help="print headline ratios vs paper")
+    submit = sub.add_parser(
+        "submit",
+        help="spool a RunSpec submission into a service state directory",
+    )
+    submit.add_argument("state", help="service state directory")
+    submit.add_argument("spec", help="path to a RunSpec JSON file")
+    submit.add_argument(
+        "--priority", type=int, default=0, metavar="N",
+        help="scheduling priority (higher first; default: 0)",
+    )
+    serve = sub.add_parser(
+        "serve", help="run the campaign service over a state directory"
+    )
+    serve.add_argument("state", help="service state directory")
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker pool size (default: 2)",
+    )
+    serve.add_argument(
+        "--executor", choices=("process", "thread", "inline"),
+        default="process",
+        help="worker tier (default: process)",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="drain until idle and exit (default: keep serving)",
+    )
+    serve.add_argument(
+        "--max-wall", type=float, default=None, metavar="S",
+        help="stop serving after S seconds",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-job timeout in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retries after a worker crash (default: 1)",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable serving report",
+    )
+    status = sub.add_parser(
+        "status", help="show a service state directory's queue and store"
+    )
+    status.add_argument("state", help="service state directory")
+    status.add_argument(
+        "--json", action="store_true",
+        help="print the full machine-readable status",
+    )
     return parser
 
 
@@ -343,6 +397,92 @@ def _cmd_campaign(args) -> int:
     return result.n_failures
 
 
+def _cmd_submit(args) -> int:
+    from repro.api.spec import RunSpec
+    from repro.errors import ReproError
+    from repro.service.jobs import Spool
+    from repro.service.store import run_key
+
+    try:
+        with open(args.spec, "r", encoding="utf-8") as f:
+            spec_dict = json.load(f)
+        spec = RunSpec.from_dict(spec_dict)
+        key = run_key(spec)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: submit {args.spec!r}: {exc}", file=sys.stderr)
+        return 1
+    import os
+
+    path = Spool(os.path.join(args.state, "spool")).append(
+        spec.to_dict(), args.priority
+    )
+    print(f"spooled {key} -> {path}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.errors import ReproError
+    from repro.service.server import CampaignService
+
+    try:
+        service = CampaignService(
+            args.state,
+            workers=args.workers,
+            executor=args.executor,
+            job_timeout_s=args.timeout,
+            max_retries=args.retries,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    recovered = service.queue.recovered_running
+    if recovered and not args.json:
+        print(
+            f"recovered {len(recovered)} interrupted job(s): "
+            + ", ".join(recovered),
+            file=sys.stderr,
+        )
+    try:
+        with service:
+            report = service.drain(
+                stop_when_idle=args.once, max_wall_s=args.max_wall
+            )
+    except KeyboardInterrupt:
+        print("interrupted; queued work journaled for restart",
+              file=sys.stderr)
+        return 130
+    if args.json:
+        print(json.dumps(report.to_json_obj(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.counts.get("failed", 0) == 0 else 1
+
+
+def _cmd_status(args) -> int:
+    from repro.service.server import CampaignService
+
+    with CampaignService(args.state, workers=1) as service:
+        info = service.status()
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    counts = info["counts"]
+    print(f"state:   {info['state_dir']}")
+    print(
+        "jobs:    "
+        + ", ".join(f"{counts[s]} {s}" for s in counts)
+    )
+    print(f"spool:   {info['spool_pending']} pending submission(s)")
+    store = info["store"]
+    print(f"store:   {store.get('entries', 0)} record(s)")
+    if info["recovered_running"]:
+        print(
+            "recovered (were running at last stop): "
+            + ", ".join(info["recovered_running"])
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -360,6 +500,12 @@ def main(argv=None) -> int:
         return _cmd_campaign(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "status":
+        return _cmd_status(args)
     if args.command == "calibrate":
         from repro.experiments import calibration
 

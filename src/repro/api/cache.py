@@ -28,8 +28,13 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Optional
 
+import numpy as np
+
+from repro.errors import ConfigError
+
 __all__ = [
     "ContentCache",
+    "canonical_json",
     "spec_key",
     "activated",
     "active_cache",
@@ -37,14 +42,72 @@ __all__ = [
 ]
 
 
+def _canonical_default(value: Any) -> Any:
+    """JSON substitute for non-JSON key material, or ``ConfigError``.
+
+    Content keys must be identical across processes, platforms, and
+    numpy versions, so the historical ``repr`` fallback is not safe:
+    ``repr(np.int64(3))`` is ``"3"`` on numpy>=2 but ``"3"`` vs
+    ``"np.int64(3)"`` across versions, and object ``repr``\\ s embed
+    addresses.  Numpy scalars map to the equivalent Python scalars,
+    arrays to a dtype/shape/data triple, bytes to hex; anything else is
+    rejected loudly instead of silently producing an unstable key.
+    """
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": value.dtype.str,
+            "shape": list(value.shape),
+            "data": value.tolist(),
+        }
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": bytes(value).hex()}
+    if isinstance(value, (set, frozenset)):
+        return {
+            "__set__": sorted(
+                json.dumps(v, sort_keys=True, default=_canonical_default)
+                for v in value
+            )
+        }
+    raise ConfigError(
+        f"cannot build a stable content key from a "
+        f"{type(value).__name__} value ({value!r}); use JSON-compatible "
+        f"values or numpy scalars/arrays"
+    )
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding of key material (sorted, compact).
+
+    The one encoder every content key and disk-store record goes
+    through, so "byte-identical" is well-defined across processes.
+    Raises :class:`~repro.errors.ConfigError` for values with no stable
+    canonical form.
+    """
+    return json.dumps(
+        data,
+        sort_keys=True,
+        separators=(",", ":"),
+        default=_canonical_default,
+    )
+
+
 def spec_key(kind: str, **fields: Any) -> str:
     """Stable content hash for a build request.
 
     ``fields`` must identify everything that determines the artifact's
     content (names, sizes, seeds...).  Values are canonicalized through
-    JSON with sorted keys; non-JSON values fall back to ``repr``.
+    :func:`canonical_json`: sorted keys, numpy scalars/arrays mapped to
+    portable forms, and genuinely uncanonicalizable values rejected
+    with :class:`~repro.errors.ConfigError` (the old ``repr`` fallback
+    produced keys that differed across processes and numpy versions).
     """
-    blob = json.dumps([kind, fields], sort_keys=True, default=repr)
+    blob = canonical_json([kind, fields])
     return f"{kind}:{hashlib.sha256(blob.encode()).hexdigest()}"
 
 

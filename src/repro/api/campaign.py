@@ -62,8 +62,21 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "ExperimentOutcome",
+    "cancel_pending",
     "run_campaign_file",
 ]
+
+
+def cancel_pending(futures) -> int:
+    """Cancel every not-yet-started future; returns how many took.
+
+    The shared graceful-drain primitive: :meth:`Campaign.run` calls it
+    when a unit raises a fatal (non-``Exception``) error or the user
+    interrupts, and :meth:`repro.service.server.CampaignService.shutdown`
+    calls it when the serving loop stops.  Futures already running
+    cannot be cancelled and are left to finish.
+    """
+    return sum(1 for future in futures if future.cancel())
 
 
 @dataclass
@@ -114,6 +127,11 @@ class CampaignResult:
     config: dict
     cache_stats: Dict[str, int] = field(default_factory=dict)
     out_dir: Optional[str] = None
+    #: disk result-store observability (when the campaign had a store)
+    store_stats: Dict[str, int] = field(default_factory=dict)
+    #: True when the campaign was interrupted and this is a partial
+    #: result (recorded to the manifest before the interrupt re-raises)
+    interrupted: bool = False
 
     @property
     def failures(self) -> Tuple[str, ...]:
@@ -139,8 +157,10 @@ class CampaignResult:
                 "config": self.config,
                 "n_experiments": len(self.outcomes),
                 "n_failures": self.n_failures,
+                "interrupted": self.interrupted,
             },
             "cache": dict(self.cache_stats),
+            "store": dict(self.store_stats),
             "experiments": {
                 name: outcome.summary()
                 for name, outcome in self.outcomes.items()
@@ -276,10 +296,37 @@ class _PlannedExperiment:
         self.started = 0.0
 
 
-def _timed_unit(unit: Any) -> Callable[[], Tuple[Any, float, float]]:
+def _execute_unit(unit: Any, store: Any = None) -> Any:
+    """Run one unit, serving spec-shaped units from ``store`` if given.
+
+    The resumable-campaign path: a :class:`~repro.api.spec.RunSpec`
+    unit whose canonical key is already in the disk result store
+    returns the stored :class:`PipelineResult` without simulating, and
+    a freshly computed spec result is persisted for the next campaign.
+    Non-spec units (closures) have no stable content address and always
+    execute.
+    """
+    from repro.api.spec import RunSpec
+
+    if store is None or not isinstance(unit, RunSpec):
+        return execute_unit(unit)
+    from repro.service.store import result_from_dict, run_key
+
+    key = run_key(unit)
+    record = store.get(key)
+    if record is not None:
+        return result_from_dict(record["result"])
+    result = execute_unit(unit)
+    store.put_result(key, unit.to_dict(), result)
+    return result
+
+
+def _timed_unit(
+    unit: Any, store: Any = None
+) -> Callable[[], Tuple[Any, float, float]]:
     def call() -> Tuple[Any, float, float]:
         start = time.time()
-        output = execute_unit(unit)
+        output = _execute_unit(unit, store)
         finished = time.time()
         return output, finished - start, finished
 
@@ -304,6 +351,7 @@ class Campaign:
         only_tags: Sequence[str] = (),
         skip_tags: Sequence[str] = (),
         cache: Optional[ContentCache] = None,
+        store: Any = None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ConfigError(f"jobs must be an int >= 1, got {jobs!r}")
@@ -317,6 +365,13 @@ class Campaign:
         self.only_tags = tuple(only_tags)
         self.skip_tags = tuple(skip_tags)
         self.cache = cache
+        if isinstance(store, str):
+            from repro.service.store import ResultStore
+
+            store = ResultStore(store)
+        #: optional disk result store: spec-shaped units already keyed
+        #: there are served instead of re-run (resumable campaigns)
+        self.store = store
         self._selection = self._select(experiments)
 
     @classmethod
@@ -405,6 +460,15 @@ class Campaign:
         selection order as soon as that experiment's units and collect
         step finish (earlier experiments gate later callbacks, not later
         execution).
+
+        Fatal errors -- ``KeyboardInterrupt`` or anything else outside
+        the per-experiment ``Exception`` isolation -- drain gracefully:
+        every queued (not yet started) unit is cancelled
+        (:func:`cancel_pending`, shared with the service's shutdown
+        path), unfinished experiments are recorded as ``cancelled``,
+        and the partial manifest is written before the interrupt
+        propagates, so a killed campaign leaves an inspectable
+        artifact trail instead of nothing.
         """
         say = progress or (lambda message: None)
         cache = self.cache if self.cache is not None else ContentCache()
@@ -416,34 +480,50 @@ class Campaign:
             f"campaign: {len(planned)} experiment(s), "
             f"jobs={self.jobs}"
         )
+        interrupt: Optional[BaseException] = None
         with activated(cache):
             with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                for exp in planned:
-                    exp.started = time.time()
-                    try:
-                        exp.units = list(exp.entry.plan(exp.cfg))
-                    except Exception as exc:
-                        exp.outcome = self._failed(
-                            exp, "plan", exc,
-                            time.time() - exp.started,
+                try:
+                    for exp in planned:
+                        exp.started = time.time()
+                        try:
+                            exp.units = list(exp.entry.plan(exp.cfg))
+                        except Exception as exc:
+                            exp.outcome = self._failed(
+                                exp, "plan", exc,
+                                time.time() - exp.started,
+                            )
+                            continue
+                        exp.plan_s = time.time() - exp.started
+                        exp.futures = [
+                            pool.submit(_timed_unit(unit, self.store))
+                            for unit in exp.units
+                        ]
+                    for index, exp in enumerate(planned):
+                        if exp.outcome is None:
+                            exp.outcome = self._gather(exp)
+                        outcome = exp.outcome
+                        say(
+                            f"[{index + 1}/{len(planned)}] "
+                            f"{outcome.name:18s} {outcome.status}"
+                            f" ({outcome.elapsed_s:.1f}s)"
                         )
-                        continue
-                    exp.plan_s = time.time() - exp.started
-                    exp.futures = [
-                        pool.submit(_timed_unit(unit))
-                        for unit in exp.units
-                    ]
-                for index, exp in enumerate(planned):
-                    if exp.outcome is None:
-                        exp.outcome = self._gather(exp)
-                    outcome = exp.outcome
-                    say(
-                        f"[{index + 1}/{len(planned)}] "
-                        f"{outcome.name:18s} {outcome.status}"
-                        f" ({outcome.elapsed_s:.1f}s)"
+                        if on_result is not None:
+                            on_result(outcome)
+                except BaseException as exc:
+                    interrupt = exc
+                    cancelled = cancel_pending(
+                        future
+                        for exp in planned
+                        for future in exp.futures
                     )
-                    if on_result is not None:
-                        on_result(outcome)
+                    say(
+                        f"campaign interrupted ({type(exc).__name__}); "
+                        f"{cancelled} queued unit(s) cancelled"
+                    )
+                    for exp in planned:
+                        if exp.outcome is None:
+                            exp.outcome = self._cancelled(exp, exc)
         outcomes = {
             exp.entry.name: exp.outcome for exp in planned
         }
@@ -453,10 +533,14 @@ class Campaign:
             config=self.cfg.to_dict(),
             cache_stats=cache.stats(),
             out_dir=self.out_dir,
+            store_stats=self.store.stats() if self.store else {},
+            interrupted=interrupt is not None,
         )
         if self.out_dir:
             self.write_artifacts(result, self.out_dir)
             say(f"artifacts written to {self.out_dir}")
+        if interrupt is not None:
+            raise interrupt
         return result
 
     def _failed(
@@ -478,6 +562,20 @@ class Campaign:
                     type(exc), exc, exc.__traceback__
                 )
             ),
+        )
+
+    def _cancelled(
+        self, exp: _PlannedExperiment, exc: BaseException
+    ) -> ExperimentOutcome:
+        return ExperimentOutcome(
+            name=exp.entry.name,
+            figure=exp.entry.figure,
+            tags=exp.entry.tags,
+            status="cancelled",
+            elapsed_s=(
+                time.time() - exp.started if exp.started else 0.0
+            ),
+            error=f"campaign interrupted by {type(exc).__name__}",
         )
 
     def _gather(self, exp: _PlannedExperiment) -> ExperimentOutcome:

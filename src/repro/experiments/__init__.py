@@ -36,6 +36,7 @@ from repro.experiments import (  # noqa: F401
     gids_vs_isp,
     host_scaling,
     sensitivity_batch,
+    service_traffic,
     shard_scaling,
     table1_datasets,
 )
@@ -75,6 +76,7 @@ ALL_EXPERIMENTS = {
     "shard-scaling": shard_scaling,
     "host-scaling": host_scaling,
     "gids-vs-isp": gids_vs_isp,
+    "service-traffic": service_traffic,
 }
 
 __all__ = [

@@ -375,3 +375,47 @@ def _bench_pipeline_distributed(ctx):
     return _pipeline_result(
         ctx, design="smartsage-sharded", mode="distributed", n_hosts=2
     )
+
+
+@register_benchmark(
+    "service-throughput",
+    tags=("macro", "service"),
+    description="campaign service cold drain (process-pool vs thread-pool workers)",
+)
+def _bench_service_throughput(ctx):
+    import shutil
+    import tempfile
+
+    from repro.service.server import CampaignService
+    from repro.service.traffic import spec_pool
+
+    n_specs = ctx.scale(10, 4)
+    pool = spec_pool(
+        n_specs,
+        edge_budget=ctx.scale(1e5, 4e4),
+        batch_size=ctx.scale(16, 8),
+        n_batches=ctx.scale(6, 2),
+        seed=ctx.seed,
+    )
+
+    def drain(executor: str) -> None:
+        # fresh state per pass: a cold store, so every job simulates
+        # and the timing is pure worker-tier throughput
+        state = tempfile.mkdtemp(prefix=f"bench-svc-{executor}-")
+        try:
+            with CampaignService(
+                state, workers=2, executor=executor
+            ) as service:
+                for spec in pool:
+                    service.submit(spec)
+                report = service.drain()
+            if report.counts.get("failed", 0):
+                raise RuntimeError(
+                    f"service drain failed jobs: {report.counts}"
+                )
+        finally:
+            shutil.rmtree(state, ignore_errors=True)
+
+    elapsed = ctx.time(lambda: drain("process"))
+    reference = ctx.time(lambda: drain("thread"))
+    return ctx.result(ops=n_specs, elapsed_s=elapsed, reference_s=reference)

@@ -1,0 +1,433 @@
+"""Persistent FIFO+priority job queue with a JSON journal.
+
+Every state transition of every job -- submitted, started, done,
+failed, requeued, cancelled -- is appended as one JSON line to
+``journal.jsonl`` in the service state directory *before* the
+in-memory structures change, so the queue's exact state (including
+specs and priorities) can be rebuilt after a crash or restart:
+:meth:`JobQueue.recover` replays the journal and re-queues anything
+that was ``running`` when the process died.
+
+Ordering is priority-first (higher value first), FIFO within a
+priority level (submission sequence breaks ties), implemented as a
+heap so a deep queue stays cheap.
+
+Other processes submit through a :class:`Spool`: one atomically
+renamed JSON file per submission in ``spool/``, ingested (and
+journaled) by the serving process's drain loop.  That keeps the
+journal single-writer without any cross-process locking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["Job", "JobQueue", "Spool", "JOB_STATES"]
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+@dataclass
+class Job:
+    """One spec submission moving through the service."""
+
+    job_id: str
+    key: str
+    spec: dict
+    priority: int = 0
+    state: str = "queued"
+    #: how the result was produced: "computed", "store", "coalesced"
+    source: Optional[str] = None
+    attempts: int = 0
+    error: Optional[str] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submission-to-completion wall latency (done/failed jobs)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def summary(self) -> dict:
+        return {
+            "job": self.job_id,
+            "key": self.key,
+            "state": self.state,
+            "priority": self.priority,
+            "source": self.source,
+            "attempts": self.attempts,
+            "error": self.error,
+            "latency_s": self.latency_s,
+        }
+
+
+class JobQueue:
+    """Journaled priority queue of :class:`Job`\\ s (thread-safe).
+
+    ``journal_path=None`` keeps the queue purely in memory (tests, the
+    traffic experiment); with a path, every mutation appends one JSON
+    line first, and :meth:`recover` rebuilds state from the file.
+    """
+
+    def __init__(self, journal_path: Optional[str] = None) -> None:
+        self.journal_path = journal_path
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._heap: List[Tuple[int, int, str]] = []
+        self._seq = 0
+        self._journal_file = None
+        if journal_path is not None:
+            os.makedirs(
+                os.path.dirname(os.path.abspath(journal_path)),
+                exist_ok=True,
+            )
+            self._recover_locked()
+            self._journal_file = open(
+                journal_path, "a", encoding="utf-8"
+            )
+
+    # -- journal -----------------------------------------------------------
+
+    def _append(self, event: dict) -> None:
+        if self._journal_file is None:
+            return
+        self._journal_file.write(
+            json.dumps(event, sort_keys=True) + "\n"
+        )
+        self._journal_file.flush()
+        os.fsync(self._journal_file.fileno())
+
+    def _recover_locked(self) -> None:
+        """Replay the journal: terminal states stick, running re-queues."""
+        if not os.path.exists(self.journal_path):
+            return
+        interrupted: List[str] = []
+        with open(self.journal_path, "r", encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    # a crash mid-append leaves at most one torn final
+                    # line; anything before it already fsynced
+                    continue
+                self._apply(event, line_no)
+        for job_id, job in self._jobs.items():
+            if job.state == "running":
+                interrupted.append(job_id)
+        for job_id in interrupted:
+            job = self._jobs[job_id]
+            job.state = "queued"
+            job.started_at = None
+            self._push(job)
+        self._interrupted = tuple(interrupted)
+
+    def _apply(self, event: dict, line_no: int) -> None:
+        kind = event.get("e")
+        job_id = event.get("job")
+        if kind == "submit":
+            job = Job(
+                job_id=job_id,
+                key=event["key"],
+                spec=event["spec"],
+                priority=int(event.get("priority", 0)),
+                submitted_at=float(event.get("t", 0.0)),
+            )
+            self._jobs[job_id] = job
+            self._push(job)
+            return
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ConfigError(
+                f"journal {self.journal_path!r} line {line_no}: "
+                f"event {kind!r} for unknown job {job_id!r}"
+            )
+        if kind == "start":
+            job.state = "running"
+            job.attempts = int(event.get("attempt", job.attempts + 1))
+            job.started_at = float(event.get("t", 0.0))
+            self._drop(job)
+        elif kind == "done":
+            job.state = "done"
+            job.source = event.get("source")
+            job.finished_at = float(event.get("t", 0.0))
+            self._drop(job)
+        elif kind == "fail":
+            job.state = "failed"
+            job.error = event.get("error")
+            job.finished_at = float(event.get("t", 0.0))
+            self._drop(job)
+        elif kind == "requeue":
+            job.state = "queued"
+            job.started_at = None
+            self._push(job)
+        elif kind == "cancel":
+            job.state = "cancelled"
+            job.finished_at = float(event.get("t", 0.0))
+            self._drop(job)
+        else:
+            raise ConfigError(
+                f"journal {self.journal_path!r} line {line_no}: "
+                f"unknown event {kind!r}"
+            )
+
+    @property
+    def recovered_running(self) -> Tuple[str, ...]:
+        """Jobs that were mid-flight at the last crash (re-queued)."""
+        return getattr(self, "_interrupted", ())
+
+    # -- heap helpers ------------------------------------------------------
+
+    def _push(self, job: Job) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (-job.priority, self._seq, job.job_id))
+
+    def _drop(self, job: Job) -> None:
+        # lazy deletion: stale heap entries are skipped on pop because
+        # the job's state is no longer "queued"
+        pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def submit(
+        self, key: str, spec: dict, priority: int = 0
+    ) -> Job:
+        """Journal and enqueue one submission; returns the new job."""
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ConfigError(
+                f"priority must be an int, got {priority!r}"
+            )
+        with self._lock:
+            job_id = f"job-{len(self._jobs) + 1:06d}"
+            now = time.time()
+            self._append(
+                {
+                    "e": "submit",
+                    "job": job_id,
+                    "key": key,
+                    "spec": spec,
+                    "priority": priority,
+                    "t": now,
+                }
+            )
+            job = Job(
+                job_id=job_id,
+                key=key,
+                spec=spec,
+                priority=priority,
+                submitted_at=now,
+            )
+            self._jobs[job_id] = job
+            self._push(job)
+            return job
+
+    def next_job(self) -> Optional[Job]:
+        """Highest-priority queued job, marked ``running`` (or None)."""
+        with self._lock:
+            while self._heap:
+                _, _, job_id = heapq.heappop(self._heap)
+                job = self._jobs[job_id]
+                if job.state != "queued":
+                    continue  # stale entry from a lazy drop
+                now = time.time()
+                job.state = "running"
+                job.attempts += 1
+                job.started_at = now
+                self._append(
+                    {
+                        "e": "start",
+                        "job": job_id,
+                        "attempt": job.attempts,
+                        "t": now,
+                    }
+                )
+                return job
+            return None
+
+    def mark_done(self, job: Job, source: str) -> None:
+        with self._lock:
+            now = time.time()
+            self._append(
+                {"e": "done", "job": job.job_id, "source": source, "t": now}
+            )
+            job.state = "done"
+            job.source = source
+            job.finished_at = now
+
+    def mark_failed(self, job: Job, error: str) -> None:
+        with self._lock:
+            now = time.time()
+            self._append(
+                {"e": "fail", "job": job.job_id, "error": error, "t": now}
+            )
+            job.state = "failed"
+            job.error = error
+            job.finished_at = now
+
+    def requeue(self, job: Job, reason: str) -> None:
+        """Put a running job back in line (worker crash, shutdown)."""
+        with self._lock:
+            self._append(
+                {
+                    "e": "requeue",
+                    "job": job.job_id,
+                    "reason": reason,
+                    "t": time.time(),
+                }
+            )
+            job.state = "queued"
+            job.started_at = None
+            self._push(job)
+
+    def cancel_queued(self) -> Tuple[str, ...]:
+        """Cancel every still-queued job (graceful shutdown)."""
+        cancelled = []
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state != "queued":
+                    continue
+                now = time.time()
+                self._append(
+                    {"e": "cancel", "job": job.job_id, "t": now}
+                )
+                job.state = "cancelled"
+                job.finished_at = now
+                cancelled.append(job.job_id)
+        return tuple(cancelled)
+
+    # -- introspection -----------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ConfigError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def depth(self) -> int:
+        """Number of queued (not running/terminal) jobs."""
+        with self._lock:
+            return sum(
+                1 for j in self._jobs.values() if j.state == "queued"
+            )
+
+    def counts(self) -> Dict[str, int]:
+        out = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for job in self._jobs.values():
+                out[job.state] += 1
+        return out
+
+    def close(self) -> None:
+        if self._journal_file is not None:
+            self._journal_file.close()
+            self._journal_file = None
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class _SpoolEntry:
+    name: str
+    spec: dict
+    priority: int
+
+
+class Spool:
+    """Cross-process submission inbox: one JSON file per submission.
+
+    Writers (the ``repro submit`` CLI, other processes) drop atomically
+    renamed files; the single serving process ingests and deletes them.
+    File names embed a wall-clock timestamp, the writer pid, and a
+    per-writer sequence number, so ingestion order is deterministic for
+    any one writer and stable overall.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._seq = 0
+
+    def append(self, spec: dict, priority: int = 0) -> str:
+        """Atomically drop one submission file; returns its path."""
+        self._seq += 1
+        name = (
+            f"{time.time():017.6f}-{os.getpid():07d}-{self._seq:05d}.json"
+        )
+        blob = json.dumps(
+            {"spec": spec, "priority": priority}, sort_keys=True
+        )
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(blob + "\n")
+            path = os.path.join(self.root, name)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def pending(self) -> int:
+        return len(self._entries())
+
+    def _entries(self) -> List[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(
+            n for n in names
+            if n.endswith(".json") and not n.startswith(".")
+        )
+
+    def drain(self) -> List[_SpoolEntry]:
+        """Ingest (read + delete) every pending submission, in order."""
+        out: List[_SpoolEntry] = []
+        for name in self._entries():
+            path = os.path.join(self.root, name)
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    blob = json.load(f)
+            except FileNotFoundError:
+                continue  # another drainer got it first
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ConfigError(
+                    f"malformed spool entry {path!r}: {exc}"
+                ) from exc
+            os.unlink(path)
+            out.append(
+                _SpoolEntry(
+                    name=name,
+                    spec=blob.get("spec", {}),
+                    priority=int(blob.get("priority", 0)),
+                )
+            )
+        return out

@@ -1,0 +1,182 @@
+"""Open-loop traffic generation for the spec-serving experiment.
+
+Models the workload shape the ROADMAP's "millions of users" direction
+implies: many clients independently submitting heterogeneous
+:class:`~repro.api.spec.RunSpec`\\ s -- a mix of single-device event
+runs, sharded and GIDS design points, and distributed multi-host runs
+-- with *open-loop* Poisson arrivals (clients do not wait for earlier
+jobs before submitting, so queueing delay is visible instead of
+self-throttled) and a Zipf-skewed popularity distribution over a
+finite spec pool (real spec traffic repeats itself, which is exactly
+what the disk-backed result store exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.spec import RunSpec, SystemSpec
+from repro.errors import ConfigError
+
+__all__ = ["TrafficJob", "spec_pool", "generate_traffic"]
+
+
+@dataclass(frozen=True)
+class TrafficJob:
+    """One arrival: when it lands, what it asks for, how urgent."""
+
+    arrival_s: float
+    spec: RunSpec
+    priority: int = 0
+
+
+#: (mode, design, system overrides, run overrides) templates covering
+#: the simulator's backend spread; the pool cycles datasets over these
+_TEMPLATES: Tuple[Tuple[str, str, dict, dict], ...] = (
+    ("event", "ssd-mmap", {}, {}),
+    ("event", "smartsage-hwsw", {}, {}),
+    ("analytic", "smartsage-sw", {}, {}),
+    ("sharded", "smartsage-sharded", {"n_shards": 2}, {}),
+    ("async", "smartsage-hwsw", {}, {"prefetch_depth": 3}),
+    ("gids", "gids-cached", {}, {"qp_depth": 32}),
+    (
+        "distributed",
+        "smartsage-sharded",
+        {"n_shards": 2, "n_hosts": 2},
+        {},
+    ),
+)
+
+_DATASETS = ("reddit", "movielens", "amazon")
+
+
+def spec_pool(
+    n_specs: int,
+    edge_budget: float = 1.5e5,
+    batch_size: int = 16,
+    n_batches: int = 8,
+    seed: int = 0,
+) -> List[RunSpec]:
+    """``n_specs`` distinct specs spanning the backend/design space.
+
+    Deterministic in ``seed``; every spec validates.  Sized by the
+    caller (the experiment passes its config's scale knobs) so traffic
+    stays cheap per job -- service experiments measure *serving*, not
+    single-run simulation depth.
+    """
+    if n_specs < 1:
+        raise ConfigError(f"n_specs must be >= 1, got {n_specs}")
+    rng = np.random.default_rng(seed)
+    pool: List[RunSpec] = []
+    for i in range(n_specs):
+        mode, design, sys_over, run_over = _TEMPLATES[
+            i % len(_TEMPLATES)
+        ]
+        dataset = _DATASETS[(i // len(_TEMPLATES)) % len(_DATASETS)]
+        spec = RunSpec(
+            dataset=dataset,
+            edge_budget=edge_budget,
+            batch_size=batch_size,
+            n_workloads=3,
+            seed=int(rng.integers(0, 4)),
+            n_batches=n_batches,
+            n_workers=2,
+            mode=mode,
+            system=SystemSpec(design=design, **sys_over),
+            **run_over,
+        )
+        pool.append(spec.validate())
+    return pool
+
+
+def generate_traffic(
+    n_jobs: int,
+    rate_jobs_per_s: float,
+    pool: Sequence[RunSpec],
+    seed: int = 0,
+    zipf_a: float = 1.3,
+    priority_levels: int = 3,
+) -> List[TrafficJob]:
+    """Open-loop Poisson arrivals over a Zipf-popular spec pool.
+
+    Inter-arrival gaps are exponential at ``rate_jobs_per_s``
+    (independent of service progress -- the open-loop property);
+    which spec each arrival requests follows a Zipf(``zipf_a``) rank
+    distribution over ``pool``, so a minority of hot specs dominates --
+    the regime where a result store converts load into cache hits.
+    Priorities are uniform over ``priority_levels`` (higher = more
+    urgent).
+    """
+    if n_jobs < 1:
+        raise ConfigError(f"n_jobs must be >= 1, got {n_jobs}")
+    if rate_jobs_per_s <= 0:
+        raise ConfigError(
+            f"rate_jobs_per_s must be positive, got {rate_jobs_per_s}"
+        )
+    if not pool:
+        raise ConfigError("spec pool must not be empty")
+    if zipf_a <= 1.0:
+        raise ConfigError(f"zipf_a must be > 1, got {zipf_a}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_jobs_per_s, size=n_jobs)
+    arrivals = np.cumsum(gaps)
+    # Zipf ranks clipped into the pool; rank 1 = hottest spec
+    ranks = np.minimum(rng.zipf(zipf_a, size=n_jobs), len(pool)) - 1
+    priorities = rng.integers(0, priority_levels, size=n_jobs)
+    jobs = [
+        TrafficJob(
+            arrival_s=float(arrivals[i]),
+            spec=pool[int(ranks[i])],
+            priority=int(priorities[i]),
+        )
+        for i in range(n_jobs)
+    ]
+    return jobs
+
+
+def replay(
+    service,
+    traffic: Sequence[TrafficJob],
+    time_scale: float = 1.0,
+) -> List:
+    """Submit ``traffic`` into ``service`` paced by arrival times.
+
+    Runs on the caller's thread (start it alongside a draining service
+    for a live run, or replay first and drain after for a batch run).
+    ``time_scale`` compresses (<1) or stretches (>1) the arrival
+    process.  Returns the created jobs in arrival order.
+    """
+    import time
+
+    jobs = []
+    start = time.monotonic()
+    for item in traffic:
+        target = start + item.arrival_s * time_scale
+        delay = target - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        jobs.append(service.submit(item.spec, priority=item.priority))
+    return jobs
+
+
+def traffic_summary(traffic: Sequence[TrafficJob]) -> dict:
+    """Shape of a generated trace (for reports and sanity checks)."""
+    if not traffic:
+        return {"n_jobs": 0}
+    specs = {}
+    modes = {}
+    for item in traffic:
+        key = id(item.spec)
+        specs[key] = specs.get(key, 0) + 1
+        modes[item.spec.mode] = modes.get(item.spec.mode, 0) + 1
+    counts = sorted(specs.values(), reverse=True)
+    return {
+        "n_jobs": len(traffic),
+        "n_unique_specs": len(specs),
+        "hottest_spec_share": counts[0] / len(traffic),
+        "duration_s": traffic[-1].arrival_s,
+        "modes": dict(sorted(modes.items())),
+    }

@@ -1,0 +1,57 @@
+"""The picklable work unit a pool worker executes.
+
+The campaign executor's units are closures over live objects
+(``partial``\\ s capturing configs, engines, datasets), which a thread
+pool can run but a ``ProcessPoolExecutor`` cannot ship.  The service
+refactors the spec-shaped unit down to plain data: a worker receives
+the spec *dict*, rebuilds the :class:`~repro.api.session.Session` on
+its side of the process boundary, runs the pipeline, and returns the
+serialized result dict -- everything crossing the boundary is JSON-
+shaped and therefore picklable by construction.
+
+Simulation is deterministic (campaign records are byte-identical
+across processes and job counts since PR 2), so *where* a spec is
+evaluated -- serving process, pool worker, another host -- cannot
+change the record that lands in the result store.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["evaluate_spec_dict", "evaluate_and_store"]
+
+
+def evaluate_spec_dict(spec_dict: dict) -> dict:
+    """Evaluate one spec dict; returns the result dict (both picklable).
+
+    This is the function the process pool imports on its side; it must
+    stay module-level (picklable by reference) and must not capture
+    service state.
+    """
+    from repro.api.session import Session
+    from repro.api.spec import RunSpec
+    from repro.service.store import result_to_dict
+
+    spec = RunSpec.from_dict(spec_dict)
+    return result_to_dict(Session(spec).run())
+
+
+def evaluate_and_store(
+    spec_dict: dict, store_root: Optional[str] = None
+) -> dict:
+    """Worker-side evaluate + persist: returns the full record.
+
+    Writing from the worker (instead of shipping the result back and
+    writing in the serving process) means a result survives even if the
+    service dies between completion and harvest; the atomic-rename
+    write makes concurrent workers of the same key safe.
+    """
+    from repro.api.spec import RunSpec
+    from repro.service.store import ResultStore, make_record, run_key
+
+    key = run_key(RunSpec.from_dict(spec_dict))
+    record = make_record(key, spec_dict, evaluate_spec_dict(spec_dict))
+    if store_root is not None:
+        ResultStore(store_root).put(record)
+    return record

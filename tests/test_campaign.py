@@ -38,7 +38,7 @@ PAPER_EXPERIMENTS = (
 EXTENSION_EXPERIMENTS = (
     "calibration", "energy", "batch-sensitivity", "ablations",
     "fidelity", "cache-sensitivity", "depth-sensitivity",
-    "shard-scaling", "host-scaling", "gids-vs-isp",
+    "shard-scaling", "host-scaling", "gids-vs-isp", "service-traffic",
 )
 
 
@@ -655,3 +655,122 @@ def test_cli_run_spec_compare_lists_all_designs(tmp_path, capsys):
     for design in ("dram", "pmem", "ssd-mmap"):
         assert design in out
     assert "speedups vs dram" in out
+
+
+# -- disk result store + graceful interrupt --------------------------------
+
+
+def _spec_units(cfg):
+    from repro.api import RunSpec, SystemSpec
+
+    return [
+        RunSpec(
+            dataset="protein-pi",
+            edge_budget=1.5e5,
+            batch_size=16,
+            n_workloads=3,
+            n_batches=2,
+            n_workers=2,
+            seed=seed,
+            system=SystemSpec(design="ssd-mmap"),
+        )
+        for seed in (0, 1)
+    ]
+
+
+@pytest.fixture
+def spec_planned():
+    register_experiment("synthetic-spec", tags=("synthetic",))(
+        _spec_units
+    )
+    try:
+        yield "synthetic-spec"
+    finally:
+        unregister_experiment("synthetic-spec")
+
+
+@pytest.fixture
+def interrupting():
+    def boom():
+        raise KeyboardInterrupt()
+
+    register_experiment("synthetic-interrupt", tags=("synthetic",))(
+        lambda cfg: [boom]
+    )
+    try:
+        yield "synthetic-interrupt"
+    finally:
+        unregister_experiment("synthetic-interrupt")
+
+
+def test_cancel_pending_counts_cancellations():
+    from repro.api.campaign import cancel_pending
+
+    class FakeFuture:
+        def __init__(self, ok):
+            self.ok = ok
+
+        def cancel(self):
+            return self.ok
+
+    futures = [FakeFuture(True), FakeFuture(False), FakeFuture(True)]
+    assert cancel_pending(futures) == 2
+
+
+def test_campaign_store_serves_resubmitted_specs(tmp_path, spec_planned):
+    from repro.service.store import result_to_dict
+
+    store_dir = str(tmp_path / "store")
+    first = Campaign(
+        experiments=[spec_planned], cfg=CFG, store=store_dir
+    ).run()
+    assert first.outcomes[spec_planned].ok
+    assert first.store_stats["puts"] == 2
+    assert first.store_stats["hits"] == 0
+
+    # identical campaign resubmitted: zero units simulate, results are
+    # rebuilt from the exact records the first run persisted
+    second = Campaign(
+        experiments=[spec_planned], cfg=CFG, store=store_dir
+    ).run()
+    assert second.outcomes[spec_planned].ok
+    assert second.store_stats["hits"] == 2
+    assert second.store_stats["puts"] == 0
+    assert [
+        result_to_dict(r) for r in first.outcomes[spec_planned].result
+    ] == [
+        result_to_dict(r) for r in second.outcomes[spec_planned].result
+    ]
+    assert second.manifest()["store"]["hits"] == 2
+
+
+def test_campaign_interrupt_writes_partial_manifest(
+    tmp_path, synthetic, interrupting
+):
+    out = tmp_path / "artifacts"
+    campaign = Campaign(
+        experiments=[interrupting, synthetic[0]],
+        cfg=CFG,
+        jobs=1,
+        out_dir=str(out),
+    )
+    with pytest.raises(KeyboardInterrupt):
+        campaign.run()
+    manifest = json.load(open(out / "manifest.json"))
+    assert manifest["campaign"]["interrupted"] is True
+    statuses = {
+        name: entry["status"]
+        for name, entry in manifest["experiments"].items()
+    }
+    assert statuses[interrupting] == "cancelled"
+    assert (
+        "KeyboardInterrupt"
+        in manifest["experiments"][interrupting]["error"]
+    )
+
+
+def test_campaign_without_store_has_empty_store_stats(synthetic):
+    result = Campaign(experiments=[synthetic[0]], cfg=CFG).run()
+    assert result.store_stats == {}
+    assert result.interrupted is False
+    assert result.manifest()["campaign"]["interrupted"] is False

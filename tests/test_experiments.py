@@ -40,7 +40,7 @@ def test_registry_covers_every_paper_artifact():
     extensions = {
         "calibration", "energy", "batch-sensitivity", "ablations",
         "fidelity", "cache-sensitivity", "depth-sensitivity",
-        "shard-scaling", "host-scaling", "gids-vs-isp",
+        "shard-scaling", "host-scaling", "gids-vs-isp", "service-traffic",
     }
     assert set(ALL_EXPERIMENTS) == paper_artifacts | extensions
 
