@@ -32,6 +32,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
 import time
 import traceback as traceback_module
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -321,12 +322,67 @@ def _execute_unit(unit: Any, store: Any = None) -> Any:
     return result
 
 
+class _BatchGroup:
+    """Lazy one-shot batched evaluation shared by analytic spec units.
+
+    The first unit future to run evaluates the whole group through
+    :mod:`repro.api.batcheval` (store hits served individually first,
+    freshly computed results persisted per unit -- the same record
+    bytes the scalar :func:`_execute_unit` path writes); later futures
+    just pick up their member's result.  Results are bit-identical to
+    per-unit :func:`~repro.api.experiment.execute_unit` because the
+    batched evaluator and ``Session.run`` share one cost model.
+    """
+
+    def __init__(self, units: List[Any], store: Any) -> None:
+        self.units = units
+        self.store = store
+        self._lock = threading.Lock()
+        self._results: Optional[List[Any]] = None
+
+    def _evaluate(self) -> List[Any]:
+        from repro.api.batcheval import evaluate_specs
+        from repro.service.store import result_from_dict, run_key
+
+        results: List[Any] = [None] * len(self.units)
+        keys: List[Optional[str]] = [None] * len(self.units)
+        compute = list(range(len(self.units)))
+        if self.store is not None:
+            compute = []
+            for i, unit in enumerate(self.units):
+                keys[i] = run_key(unit)
+                record = self.store.get(keys[i])
+                if record is not None:
+                    results[i] = result_from_dict(record["result"])
+                else:
+                    compute.append(i)
+        if compute:
+            fresh = evaluate_specs([self.units[i] for i in compute])
+            for i, result in zip(compute, fresh):
+                results[i] = result
+                if self.store is not None:
+                    self.store.put_result(
+                        keys[i], self.units[i].to_dict(), result
+                    )
+        return results
+
+    def result_for(self, index: int) -> Any:
+        with self._lock:
+            if self._results is None:
+                self._results = self._evaluate()
+        return self._results[index]
+
+
 def _timed_unit(
-    unit: Any, store: Any = None
+    unit: Any, store: Any = None, batch: Optional[Tuple[Any, int]] = None
 ) -> Callable[[], Tuple[Any, float, float]]:
     def call() -> Tuple[Any, float, float]:
         start = time.time()
-        output = _execute_unit(unit, store)
+        if batch is not None:
+            group, member = batch
+            output = group.result_for(member)
+        else:
+            output = _execute_unit(unit, store)
         finished = time.time()
         return output, finished - start, finished
 
@@ -352,6 +408,7 @@ class Campaign:
         skip_tags: Sequence[str] = (),
         cache: Optional[ContentCache] = None,
         store: Any = None,
+        batch_analytic: bool = True,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ConfigError(f"jobs must be an int >= 1, got {jobs!r}")
@@ -372,6 +429,10 @@ class Campaign:
         #: optional disk result store: spec-shaped units already keyed
         #: there are served instead of re-run (resumable campaigns)
         self.store = store
+        #: coalesce analytic-mode RunSpec units into one batched
+        #: evaluation (bit-identical results and store records); False
+        #: forces the scalar per-unit path
+        self.batch_analytic = batch_analytic
         self._selection = self._select(experiments)
 
     @classmethod
@@ -495,9 +556,17 @@ class Campaign:
                             )
                             continue
                         exp.plan_s = time.time() - exp.started
+                    handles = self._plan_batches(planned)
+                    for eidx, exp in enumerate(planned):
+                        if exp.outcome is not None:
+                            continue
                         exp.futures = [
-                            pool.submit(_timed_unit(unit, self.store))
-                            for unit in exp.units
+                            pool.submit(_timed_unit(
+                                unit,
+                                self.store,
+                                batch=handles.get((eidx, uidx)),
+                            ))
+                            for uidx, unit in enumerate(exp.units)
                         ]
                     for index, exp in enumerate(planned):
                         if exp.outcome is None:
@@ -542,6 +611,36 @@ class Campaign:
         if interrupt is not None:
             raise interrupt
         return result
+
+    def _plan_batches(
+        self, planned: List[_PlannedExperiment]
+    ) -> Dict[Tuple[int, int], Tuple[_BatchGroup, int]]:
+        """Map (experiment index, unit index) -> batch-group handle.
+
+        Analytic-mode :class:`RunSpec` units across the whole campaign
+        share one :class:`_BatchGroup`, so a sweep-shaped campaign is
+        answered as array ops instead of N pipeline runs.  A single
+        eligible unit (nothing to coalesce) keeps the scalar path.
+        """
+        if not self.batch_analytic:
+            return {}
+        from repro.api.batcheval import batchable
+        from repro.api.spec import RunSpec
+
+        sites = [
+            (eidx, uidx, unit)
+            for eidx, exp in enumerate(planned)
+            if exp.outcome is None
+            for uidx, unit in enumerate(exp.units)
+            if isinstance(unit, RunSpec) and batchable(unit)
+        ]
+        if len(sites) < 2:
+            return {}
+        group = _BatchGroup([unit for _, _, unit in sites], self.store)
+        return {
+            (eidx, uidx): (group, member)
+            for member, (eidx, uidx, _) in enumerate(sites)
+        }
 
     def _failed(
         self,

@@ -512,7 +512,12 @@ class Session:
             baseline=baseline or designs[0], results=results
         )
 
-    def sweep(self, axis: str, values: Sequence) -> "SweepResults":
+    def sweep(
+        self,
+        axis: str,
+        values: Sequence,
+        batch: Optional[bool] = None,
+    ) -> "SweepResults":
         """Run the spec once per value of ``axis``.
 
         ``axis`` is any :class:`RunSpec` field (``n_workers``,
@@ -526,6 +531,14 @@ class Session:
         unhashable values (``hardware`` override dicts) look up
         directly; duplicate sweep points raise :class:`ConfigError`
         before any point runs.
+
+        When every point is analytic-mode the grid is answered by the
+        batched evaluator (:mod:`repro.api.batcheval`) -- one phase-cost
+        computation per cost group, one vectorized combine -- with
+        results bit-identical to per-point :meth:`run`.  ``batch``
+        overrides the automatic choice: ``False`` forces scalar
+        per-point evaluation, ``True`` requires an all-analytic grid
+        (:class:`ConfigError` otherwise).
         """
         run_fields = {
             f.name for f in dataclasses.fields(RunSpec) if f.name != "system"
@@ -546,7 +559,7 @@ class Session:
                     f"{axis!r} (canonical key {key!r})"
                 )
             seen[key] = value
-        results = SweepResults()
+        points: List[Session] = []
         for value in values:
             if axis in sys_fields:
                 spec = self.spec.replace(
@@ -560,11 +573,27 @@ class Session:
             share_workloads = (
                 share_dataset and axis not in _WORKLOAD_FIELDS
             )
-            point = Session(
+            points.append(Session(
                 spec,
                 dataset=self.dataset if share_dataset else None,
                 workloads=self.workloads if share_workloads else None,
                 hw=self._hw if axis != "hardware" else None,
+            ))
+        all_analytic = all(p.spec.mode == "analytic" for p in points)
+        if batch is None:
+            batch = all_analytic
+        elif batch and not all_analytic:
+            raise ConfigError(
+                "batch=True needs every sweep point in mode='analytic'; "
+                "pass batch=None to fall back per-point automatically"
             )
-            results.add(value, point.run())
+        results = SweepResults()
+        if batch and points:
+            from repro.api.batcheval import evaluate_sessions
+
+            for value, result in zip(values, evaluate_sessions(points)):
+                results.add(value, result)
+        else:
+            for value, point in zip(values, points):
+                results.add(value, point.run())
         return results

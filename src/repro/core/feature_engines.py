@@ -144,7 +144,8 @@ class MmapFeatureEngine(FeatureEngineBase):
         while remaining > 0:
             k = min(_FAULT_BUNDLE, remaining)
             remaining -= k
-            yield runtime.pagecache_lock.acquire()
+            if not runtime.pagecache_lock.try_acquire():
+                yield runtime.pagecache_lock.acquire()
             try:
                 yield sim.timeout(k * params.pagecache_lock_s)
             finally:

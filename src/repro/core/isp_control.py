@@ -63,7 +63,8 @@ class ISPControlUnit:
         """Generator executing one command against shared device state."""
         self.commands_executed += 1
         # command handling on the shared embedded cores
-        yield state.cores.acquire()
+        if not state.cores.try_acquire():
+            yield state.cores.acquire()
         try:
             yield sim.timeout(self.ssd.hw.ssd.firmware_io_s)
         finally:

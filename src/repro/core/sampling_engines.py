@@ -154,7 +154,8 @@ class MmapSamplingEngine(SamplingEngineBase):
                 k = min(_FAULT_BUNDLE, remaining)
                 remaining -= k
                 # serialized page-cache lock section
-                yield runtime.pagecache_lock.acquire()
+                if not runtime.pagecache_lock.try_acquire():
+                    yield runtime.pagecache_lock.acquire()
                 try:
                     yield sim.timeout(k * params.pagecache_lock_s)
                 finally:

@@ -419,3 +419,85 @@ def _bench_service_throughput(ctx):
     elapsed = ctx.time(lambda: drain("process"))
     reference = ctx.time(lambda: drain("thread"))
     return ctx.result(ops=n_specs, elapsed_s=elapsed, reference_s=reference)
+
+
+@register_benchmark(
+    "resource-churn",
+    tags=("micro", "sim"),
+    description="uncontended Resource grant/release churn (synchronous fast path vs per-event grants)",
+)
+def _bench_resource_churn(ctx):
+    from repro.sim.engine import Simulator
+    from repro.sim.resources import Resource
+
+    n_procs = ctx.scale(8, 4)
+    steps = ctx.scale(20_000, 2_000)
+
+    def run(fast: bool) -> int:
+        sim = Simulator()
+        # capacity == n_procs: every cycle is an uncontended grant, the
+        # exact shape of the hot flash-channel / embedded-core loops
+        resource = Resource(sim, capacity=n_procs, name="bench")
+
+        def proc():
+            for _ in range(steps):
+                if not resource.try_acquire():
+                    yield resource.acquire()
+                try:
+                    yield sim.timeout(1e-6)
+                finally:
+                    resource.release()
+
+        old = Resource.fast_path
+        Resource.fast_path = fast
+        try:
+            for pid in range(n_procs):
+                sim.process(proc(), name=f"p{pid}")
+            sim.run()
+        finally:
+            Resource.fast_path = old
+        return n_procs * steps
+
+    ops = run(True)
+    elapsed = ctx.time(lambda: run(True))
+    reference = ctx.time(lambda: run(False))
+    return ctx.result(ops=ops, elapsed_s=elapsed, reference_s=reference)
+
+
+@register_benchmark(
+    "sweep-batch",
+    tags=("macro", "api"),
+    description="100-point analytic sweep (batched grid evaluator vs per-point runs)",
+)
+def _bench_sweep_batch(ctx):
+    from repro.api import RunSpec, Session, SystemSpec
+
+    # The grid stays 100 points at every scale -- the target (>=10x on
+    # a 100-point grid) is defined on the grid size; ctx.scale only
+    # shrinks the per-point problem.
+    n_points = 100
+    spec = RunSpec(
+        dataset="reddit",
+        edge_budget=ctx.scale(2.4e5, 1.2e5),
+        batch_size=ctx.scale(48, 32),
+        n_workloads=6,
+        n_batches=8,
+        n_workers=2,
+        mode="analytic",
+        system=SystemSpec(design="smartsage-sw"),
+    )
+    values = list(range(1, n_points + 1))
+    with ctx.stage("build"):
+        base = Session.from_spec(spec)
+        base.workloads  # materialize dataset + workloads once, outside timing
+
+    def run(batch: bool):
+        session = Session(
+            spec, dataset=base.dataset, workloads=base.workloads
+        )
+        return session.sweep("n_workers", values, batch=batch)
+
+    run(True)  # warm lazy state (GPU model, registries)
+    elapsed = ctx.time(lambda: run(True))
+    reference = ctx.time(lambda: run(False))
+    return ctx.result(ops=n_points, elapsed_s=elapsed, reference_s=reference)

@@ -50,7 +50,7 @@ from repro.api.spec import RunSpec
 from repro.errors import ConfigError
 from repro.service.jobs import Job, JobQueue, Spool
 from repro.service.store import ResultStore, run_key
-from repro.service.worker import evaluate_and_store
+from repro.service.worker import evaluate_and_store, evaluate_batch_and_store
 
 __all__ = ["CampaignService", "ServiceReport", "EXECUTORS"]
 
@@ -153,6 +153,7 @@ class ServiceReport:
             f"({self.wall_s:.2f}s wall, "
             f"{self.throughput_jobs_per_s:.1f} jobs/s)",
             f"sources: {self.sources.get('computed', 0)} computed, "
+            f"{self.sources.get('batch', 0)} batch, "
             f"{self.sources.get('store', 0)} store, "
             f"{self.sources.get('coalesced', 0)} coalesced "
             f"({self.served_fraction:.0%} served)",
@@ -185,6 +186,7 @@ class CampaignService:
         max_retries: int = 1,
         poll_interval_s: float = 0.02,
         work_fn: Optional[Callable[[dict, str], dict]] = None,
+        batch_analytic: bool = True,
     ) -> None:
         if not isinstance(workers, int) or isinstance(workers, bool) \
                 or workers < 1:
@@ -209,12 +211,18 @@ class CampaignService:
         self.max_retries = max_retries
         self.poll_interval_s = poll_interval_s
         self.work_fn = work_fn or evaluate_and_store
+        #: coalesce queued analytic jobs into one batched pool
+        #: submission (only with the default ``work_fn`` -- an injected
+        #: work function has no batched face)
+        self.batch_analytic = batch_analytic
         self.queue = JobQueue(os.path.join(state_dir, "journal.jsonl"))
         self.spool = Spool(os.path.join(state_dir, "spool"))
         self.store = ResultStore(os.path.join(state_dir, "store"))
         self._pool = None
-        #: key -> (primary job, future, monotonic dispatch time)
-        self._running: Dict[str, Tuple[Job, Future, float]] = {}
+        #: key -> (primary job, future, monotonic dispatch time,
+        #: batched?) -- members of one batch share a single future,
+        #: whose result maps run_key -> record
+        self._running: Dict[str, Tuple[Job, Future, float, bool]] = {}
         #: key -> jobs waiting on the in-flight primary
         self._followers: Dict[str, List[Job]] = {}
         self._latencies: List[float] = []
@@ -254,6 +262,21 @@ class CampaignService:
         self._ensure_pool()
         return self._pool.submit(self.work_fn, job.spec, self.store.root)
 
+    def _submit_batch(self, jobs: List[Job]) -> Future:
+        specs = [job.spec for job in jobs]
+        if self.executor == "inline":
+            return _InlineFuture(
+                evaluate_batch_and_store, specs, self.store.root
+            )
+        self._ensure_pool()
+        return self._pool.submit(
+            evaluate_batch_and_store, specs, self.store.root
+        )
+
+    def _in_flight(self) -> int:
+        """Occupied worker slots: batch members share one future."""
+        return len({id(f) for _, f, _, _ in self._running.values()})
+
     # -- the three moves ---------------------------------------------------
 
     def _ingest_spool(self) -> bool:
@@ -276,39 +299,82 @@ class CampaignService:
         return progressed
 
     def _dispatch(self) -> bool:
-        """Start queued jobs: serve from store, coalesce, or simulate."""
+        """Start queued jobs: serve from store, coalesce, batch, or
+        simulate.
+
+        With the default ``work_fn``, queued analytic-mode jobs are
+        coalesced into one batched pool submission
+        (:func:`~repro.service.worker.evaluate_batch_and_store`): the
+        open batch occupies a single worker slot however many jobs it
+        absorbs, so a 50-spec sweep is answered as one array op instead
+        of 50 submissions.  A batch of one falls back to the scalar
+        path (nothing to coalesce).
+        """
         progressed = False
-        while len(self._running) < self.workers:
+        batch_ok = (
+            self.batch_analytic and self.work_fn is evaluate_and_store
+        )
+        pending: List[Job] = []
+        pending_keys = set()
+        while self._in_flight() + (1 if pending else 0) < self.workers \
+                or pending:
             job = self.queue.next_job()
             if job is None:
                 break
             progressed = True
-            if job.key in self._running:
+            if job.key in self._running or job.key in pending_keys:
                 self._followers.setdefault(job.key, []).append(job)
                 continue
             record = self.store.get(job.key)
             if record is not None:
                 self._finish(job, "store")
                 continue
+            if batch_ok and job.spec.get("mode") == "analytic":
+                pending.append(job)
+                pending_keys.add(job.key)
+                continue
+            if self._in_flight() + (1 if pending else 0) >= self.workers:
+                # pulled past capacity while the open batch was still
+                # absorbing: only analytic jobs may ride along, so this
+                # one goes back to the queue for the next cycle (not a
+                # real attempt -- give the retry budget back)
+                job.attempts -= 1
+                self.queue.requeue(job, "capacity")
+                break
             self._running[job.key] = (
-                job, self._submit_work(job), time.monotonic()
+                job, self._submit_work(job), time.monotonic(), False
             )
+        if len(pending) == 1:
+            job = pending[0]
+            self._running[job.key] = (
+                job, self._submit_work(job), time.monotonic(), False
+            )
+        elif pending:
+            future = self._submit_batch(pending)
+            t0 = time.monotonic()
+            for job in pending:
+                self._running[job.key] = (job, future, t0, True)
         return progressed
 
     def _harvest(self) -> bool:
         """Collect finished/overdue futures; settle followers."""
         progressed = False
         now = time.monotonic()
+        busy_counted = set()  # count a shared batch future's span once
         for key in list(self._running):
             if key not in self._running:
                 continue  # a crash handler cleared the table mid-scan
-            job, future, t0 = self._running[key]
+            job, future, t0, batched = self._running[key]
             if future.done():
                 progressed = True
                 del self._running[key]
-                self._busy_s += time.monotonic() - t0
+                if id(future) not in busy_counted:
+                    busy_counted.add(id(future))
+                    self._busy_s += time.monotonic() - t0
                 try:
                     record = future.result()
+                    if batched:
+                        record = record[job.key]
                 except BrokenProcessPool:
                     self._handle_crash(job)
                 except Exception as exc:
@@ -318,14 +384,16 @@ class CampaignService:
                         # thread/inline workers share our store dir and
                         # have already written; a custom work_fn may not
                         self.store.put(record)
-                    self._finish(job, "computed")
+                    self._finish(job, "batch" if batched else "computed")
             elif (
                 self.job_timeout_s is not None
                 and now - t0 > self.job_timeout_s
             ):
                 progressed = True
                 del self._running[key]
-                self._busy_s += time.monotonic() - t0
+                if id(future) not in busy_counted:
+                    busy_counted.add(id(future))
+                    self._busy_s += time.monotonic() - t0
                 future.cancel()
                 self._fail(
                     job,
@@ -354,7 +422,7 @@ class CampaignService:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         # every other in-flight future of the broken pool is lost too
-        orphans = [j for j, _, _ in self._running.values()]
+        orphans = [j for j, _, _, _ in self._running.values()]
         self._running.clear()
         for victim in [job] + orphans:
             if victim.attempts > self.max_retries:
@@ -427,10 +495,12 @@ class CampaignService:
         """
         from repro.api.campaign import cancel_pending
 
-        cancel_pending([f for _, f, _ in self._running.values()])
+        cancel_pending(
+            {id(f): f for _, f, _, _ in self._running.values()}.values()
+        )
         requeued = []
         for key in list(self._running):
-            job, _, _ = self._running.pop(key)
+            job, _, _, _ = self._running.pop(key)
             self.queue.requeue(job, "shutdown")
             requeued.append(job.job_id)
         for key in list(self._followers):

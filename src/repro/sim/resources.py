@@ -26,14 +26,30 @@ __all__ = ["Resource", "Store", "BandwidthLink"]
 class Resource:
     """``capacity`` slots handed out FIFO.
 
-    Usage inside a process::
+    Usage inside a process (the uncontended fast path grants
+    synchronously without allocating a :class:`SimEvent`; the event
+    path is taken only when the resource is saturated)::
 
-        yield resource.acquire()
+        if not resource.try_acquire():
+            yield resource.acquire()
         try:
             yield sim.timeout(service_time)
         finally:
             resource.release()
+
+    Hot loops issue millions of uncontended grant/release cycles, so
+    :meth:`try_acquire` is the churn fast path: no event object, no
+    event-queue round trip.  Setting the class attribute
+    :attr:`fast_path` to ``False`` forces every :meth:`try_acquire`
+    to decline, pushing all acquisitions through the per-event
+    reference path -- the scalar reference the ``resource-churn``
+    benchmark and the DES parity tests compare against.
     """
+
+    #: class-wide switch: ``False`` disables the synchronous grant so
+    #: every acquisition allocates and schedules a SimEvent (the
+    #: reference path kept for parity tests and benchmarks)
+    fast_path = True
 
     def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
         if capacity < 1:
@@ -42,20 +58,29 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._in_use = 0
-        self._waiters: Deque[SimEvent] = deque()
+        #: FIFO of (event, wait_started) -- the start time rides on the
+        #: waiter entry itself, so a waiter that is cancelled or never
+        #: granted leaves no bookkeeping behind (the historical
+        #: ``id(event)``-keyed side table leaked one entry per
+        #: ungranted waiter and could collide after garbage collection
+        #: reused an event's id)
+        self._waiters: Deque[tuple] = deque()
         # utilization accounting
         self._busy_area = 0.0      # integral of in_use over time
         self._last_change = sim.now
         self._acquisitions = 0
         self._wait_time_total = 0.0
-        self._wait_started: dict = {}
 
     # -- accounting -----------------------------------------------------
 
     def _account(self) -> None:
+        # Coalesced: grant/release bursts at one timestamp contribute
+        # zero area, so only the first state change after the clock
+        # moves pays the accounting arithmetic.
         now = self.sim.now
-        self._busy_area += self._in_use * (now - self._last_change)
-        self._last_change = now
+        if now != self._last_change:
+            self._busy_area += self._in_use * (now - self._last_change)
+            self._last_change = now
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Mean busy fraction over ``elapsed`` (defaults to sim.now)."""
@@ -81,22 +106,38 @@ class Resource:
 
     # -- acquire/release ---------------------------------------------------
 
-    def acquire(self) -> SimEvent:
-        """Event that fires once a slot is granted to the caller."""
-        ev = self.sim.event()
-        self._wait_started[id(ev)] = self.sim.now
-        if self._in_use < self.capacity:
-            self._grant(ev)
-        else:
-            self._waiters.append(ev)
-        return ev
+    def try_acquire(self) -> bool:
+        """Synchronous uncontended grant: no event, no scheduling.
 
-    def _grant(self, ev: SimEvent) -> None:
+        Returns ``True`` and takes a slot when one is free; returns
+        ``False`` (take the :meth:`acquire` event path) when the
+        resource is saturated or :attr:`fast_path` is disabled.  A
+        successful fast grant is indistinguishable from an immediate
+        event grant: same slot accounting, same zero recorded wait.
+        """
+        if not self.fast_path or self._in_use >= self.capacity:
+            return False
         self._account()
         self._in_use += 1
         self._acquisitions += 1
-        started = self._wait_started.pop(id(ev), self.sim.now)
-        self._wait_time_total += self.sim.now - started
+        return True
+
+    def acquire(self) -> SimEvent:
+        """Event that fires once a slot is granted to the caller."""
+        ev = self.sim.event()
+        if self._in_use < self.capacity:
+            self._grant(ev, self.sim.now)
+        else:
+            self._waiters.append((ev, self.sim.now))
+        return ev
+
+    def _grant(self, ev: SimEvent, started: float) -> None:
+        self._account()
+        self._in_use += 1
+        self._acquisitions += 1
+        waited = self.sim.now - started
+        if waited:
+            self._wait_time_total += waited
         ev.succeed(self)
 
     def release(self) -> None:
@@ -105,7 +146,8 @@ class Resource:
         self._account()
         self._in_use -= 1
         if self._waiters:
-            self._grant(self._waiters.popleft())
+            ev, started = self._waiters.popleft()
+            self._grant(ev, started)
 
 
 class Store:
@@ -202,7 +244,8 @@ class BandwidthLink:
         """Generator performing one transfer over the shared link."""
         if nbytes < 0:
             raise SimulationError(f"{self.name}: negative transfer size")
-        yield self._slots.acquire()
+        if not self._slots.try_acquire():
+            yield self._slots.acquire()
         try:
             yield self.sim.timeout(self.transfer_time(nbytes))
             self.bytes_moved += nbytes

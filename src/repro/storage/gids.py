@@ -285,12 +285,14 @@ class GIDSState:
         while remaining > 0:
             k = min(params.warp_size, remaining)
             remaining -= k
-            yield self.qp_slots.acquire()
+            if not self.qp_slots.try_acquire():
+                yield self.qp_slots.acquire()
             try:
                 # warp-parallel SQ build + doorbell + completion poll
                 yield self.sim.timeout(ctl.submission_cost(k))
                 # firmware + FTL on the SSD's embedded cores
-                yield ssd_state.cores.acquire()
+                if not ssd_state.cores.try_acquire():
+                    yield ssd_state.cores.acquire()
                 try:
                     yield self.sim.timeout(
                         k * (ssd_state.firmware_io_s
@@ -299,7 +301,8 @@ class GIDSState:
                 finally:
                     ssd_state.cores.release()
                 # flash array reads
-                yield ssd_state.flash.acquire()
+                if not ssd_state.flash.try_acquire():
+                    yield ssd_state.flash.acquire()
                 try:
                     yield self.sim.timeout(k * flash_t)
                 finally:

@@ -229,7 +229,8 @@ class SSDState:
             remaining -= k
             misses = k * (1.0 - buffered_frac)
             # firmware + FTL on the embedded cores
-            yield self.cores.acquire()
+            if not self.cores.try_acquire():
+                yield self.cores.acquire()
             try:
                 yield self.sim.timeout(
                     k * (self.firmware_io_s + self.translate_s)
@@ -238,7 +239,8 @@ class SSDState:
                 self.cores.release()
             # flash array (only the page-buffer misses)
             if misses > 0:
-                yield self.flash.acquire()
+                if not self.flash.try_acquire():
+                    yield self.flash.acquire()
                 try:
                     yield self.sim.timeout(misses * flash_t)
                 finally:
@@ -285,7 +287,8 @@ class SSDState:
         def lane(sim):
             while work:
                 q = work.pop()
-                yield self.flash.acquire()
+                if not self.flash.try_acquire():
+                    yield self.flash.acquire()
                 try:
                     yield sim.timeout(q * page_t)
                 finally:
@@ -306,7 +309,8 @@ class SSDState:
         while remaining > 1e-12:
             piece = min(slice_s, remaining)
             remaining -= piece
-            yield self.cores.acquire()
+            if not self.cores.try_acquire():
+                yield self.cores.acquire()
             try:
                 yield self.sim.timeout(piece)
             finally:

@@ -285,7 +285,10 @@ def test_cli_bench_tag_filter(tmp_path):
         "--out", str(out),
     ])
     assert rc == 0
-    assert os.listdir(out) == ["BENCH_event-engine.json"]
+    assert sorted(os.listdir(out)) == [
+        "BENCH_event-engine.json",
+        "BENCH_resource-churn.json",
+    ]
     assert cli_main(["bench", "--tag", "no-such-tag"]) == 2
 
 

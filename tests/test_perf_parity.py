@@ -492,3 +492,89 @@ def test_plan_extents_uses_vectorized_windows():
         windows_r = fault_around_windows_scalar(misses, 4)
         assert hits_v == int(mask.sum())
         assert np.array_equal(windows_v, windows_r)
+
+
+# -- Resource fast path: event-mode pipeline unchanged --------------------
+
+
+@pytest.mark.parametrize("design,mode", [
+    ("smartsage-hwsw", "event"),
+    ("ssd-mmap", "event"),
+    ("smartsage-sharded", "sharded"),
+    ("gids-cached", "gids"),
+])
+def test_resource_fast_path_pipeline_bit_identical(design, mode):
+    """Disabling the synchronous grant path (per-event reference) must
+    reproduce every simulated pipeline result bit for bit."""
+    from repro.api import RunSpec, Session, SystemSpec
+
+    spec = RunSpec(
+        dataset="reddit", edge_budget=1e5, batch_size=16,
+        n_workloads=3, n_batches=4, n_workers=2, mode=mode,
+        system=SystemSpec(design=design),
+    )
+    fast = Session(spec).run()
+    old = Resource.fast_path
+    Resource.fast_path = False
+    try:
+        reference = Session(spec).run()
+    finally:
+        Resource.fast_path = old
+    assert fast == reference
+
+
+# -- batched analytic sweep vs per-point scalar ----------------------------
+
+
+def _analytic_session(**overrides):
+    from repro.api import RunSpec, Session, SystemSpec
+
+    base = dict(
+        dataset="protein-pi", edge_budget=1.5e5, batch_size=16,
+        n_workloads=3, n_batches=4, n_workers=2, mode="analytic",
+        system=SystemSpec(design="smartsage-sw"),
+    )
+    base.update(overrides)
+    return Session(RunSpec(**base))
+
+
+@pytest.mark.parametrize("axis,values", [
+    ("n_workers", [1, 2, 3, 5, 8, 16]),
+    ("host_cache_frac", [0.05, 0.15, 0.3, 0.6]),
+    ("batch_size", [8, 16, 32]),
+])
+def test_sweep_batched_bit_identical_to_scalar(axis, values):
+    """The auto fast path (batch=None on an all-analytic grid) must
+    produce the exact PipelineResult the per-point scalar run does,
+    for axes the model folds (n_workers), axes that split cost groups
+    (host_cache_frac), and axes that reshape the workloads
+    (batch_size)."""
+    batched = _analytic_session().sweep(axis, values)
+    scalar = _analytic_session().sweep(axis, values, batch=False)
+    for value in values:
+        assert batched[value] == scalar[value]
+
+
+def test_sweep_mixed_modes_falls_back_per_point():
+    """A grid with non-analytic points silently takes the per-point
+    path under batch=None; batch=True refuses it up front."""
+    session = _analytic_session(edge_budget=1e5)
+    values = ["analytic", "event"]
+    auto = session.sweep("mode", values)
+    scalar = session.sweep("mode", values, batch=False)
+    for value in values:
+        assert auto[value] == scalar[value]
+    with pytest.raises(ConfigError, match="analytic"):
+        session.sweep("mode", values, batch=True)
+
+
+def test_sweep_batch_true_matches_forced_scalar():
+    batched = _analytic_session().sweep(
+        "n_workers", [1, 4, 9], batch=True
+    )
+    scalar = _analytic_session().sweep(
+        "n_workers", [1, 4, 9], batch=False
+    )
+    assert list(batched) == list(scalar)
+    for value in (1, 4, 9):
+        assert batched[value] == scalar[value]

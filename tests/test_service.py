@@ -414,6 +414,113 @@ def test_service_report_scoped_to_current_instance(tmp_path):
     assert status["counts"]["done"] == 6
 
 
+# -- batched analytic dispatch ---------------------------------------------
+
+
+def _analytic_specs(n, **overrides):
+    from repro.api import RunSpec, SystemSpec
+
+    base = dict(
+        dataset="protein-pi", edge_budget=1.5e5, batch_size=16,
+        n_workloads=3, n_batches=4, mode="analytic",
+        system=SystemSpec(design="smartsage-sw"),
+    )
+    base.update(overrides)
+    return [RunSpec(n_workers=w + 1, **base) for w in range(n)]
+
+
+def test_service_batches_queued_analytic_jobs(tmp_path):
+    """Queued analytic jobs coalesce into one batch submission (one
+    worker slot, however many members) and every record lands in the
+    store byte-identical to what the scalar worker would have
+    written."""
+    from repro.service.worker import evaluate_and_store
+
+    specs = _analytic_specs(10)
+    store_root = str(tmp_path / "state" / "store")
+    svc = CampaignService(
+        str(tmp_path / "state"), workers=2, executor="thread"
+    )
+    for spec in specs:
+        svc.submit(spec)
+    report = svc.drain()
+    svc.close()
+    assert report.jobs_completed == 10
+    assert report.sources.get("batch", 0) >= 9
+    # replay every spec through the scalar path into a fresh store
+    scalar_root = str(tmp_path / "scalar-store")
+    for spec in specs:
+        evaluate_and_store(spec.to_dict(), scalar_root)
+    store = ResultStore(store_root)
+    scalar = ResultStore(scalar_root)
+    for spec in specs:
+        key = run_key(spec)
+        with open(store.path_for(key), "rb") as f:
+            batched_bytes = f.read()
+        with open(scalar.path_for(key), "rb") as f:
+            assert batched_bytes == f.read()
+
+
+def test_service_singleton_analytic_stays_scalar(tmp_path):
+    svc = CampaignService(
+        str(tmp_path / "state"), workers=2, executor="thread"
+    )
+    svc.submit(_analytic_specs(1)[0])
+    report = svc.drain()
+    svc.close()
+    assert report.sources == {"computed": 1}
+
+
+def test_service_batching_disabled_falls_back_scalar(tmp_path):
+    specs = _analytic_specs(4)
+    svc = CampaignService(
+        str(tmp_path / "state"), workers=2, executor="thread",
+        batch_analytic=False,
+    )
+    for spec in specs:
+        svc.submit(spec)
+    report = svc.drain()
+    svc.close()
+    assert report.sources == {"computed": 4}
+
+
+def test_service_custom_work_fn_never_batches(tmp_path):
+    # batching is gated on the default evaluate_and_store work_fn: a
+    # custom fn must see every spec dict individually
+    seen = []
+
+    def tracking(spec_dict, store_root):
+        seen.append(spec_dict["n_workers"])
+        return fake_record(spec_dict)
+
+    specs = _analytic_specs(4)
+    with make_service(tmp_path, workers=2, work_fn=tracking) as svc:
+        for spec in specs:
+            svc.submit(spec)
+        report = svc.drain()
+    assert report.sources == {"computed": 4}
+    assert sorted(seen) == [1, 2, 3, 4]
+
+
+def test_service_batch_mixes_with_store_hits(tmp_path):
+    # second submission wave: everything served from the store, no
+    # re-batching of already-answered keys
+    specs = _analytic_specs(5)
+    state = str(tmp_path / "state")
+    svc = CampaignService(state, workers=2, executor="thread")
+    for spec in specs:
+        svc.submit(spec)
+    first = svc.drain()
+    svc.close()
+    assert first.jobs_completed == 5
+    svc2 = CampaignService(state, workers=2, executor="thread")
+    for spec in specs:
+        svc2.submit(spec)
+    second = svc2.drain()
+    svc2.close()
+    assert second.sources == {"store": 5}
+
+
 # -- concurrency stress: exactly-once, byte-identical records --------------
 
 

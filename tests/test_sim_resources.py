@@ -222,3 +222,131 @@ def test_bandwidth_link_rejects_bad_config():
     sim = Simulator()
     with pytest.raises(SimulationError):
         BandwidthLink(sim, bandwidth=0.0)
+
+
+# -- fast-path grant/release (churn optimization) -----------------------
+
+
+def test_try_acquire_grants_until_saturated():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    assert res.try_acquire()
+    assert res.try_acquire()
+    assert not res.try_acquire()  # saturated: caller must take the event path
+    assert res.in_use == 2
+    res.release()
+    assert res.try_acquire()
+    for _ in range(2):
+        res.release()
+    assert res.in_use == 0
+
+
+def test_try_acquire_declines_when_fast_path_disabled():
+    sim = Simulator()
+    res = Resource(sim, capacity=4)
+    old = Resource.fast_path
+    Resource.fast_path = False
+    try:
+        assert not res.try_acquire()
+    finally:
+        Resource.fast_path = old
+    assert res.in_use == 0
+
+
+def test_fast_path_matches_reference_accounting():
+    """The same churn loop, fast path on vs off: identical grant
+    counts, utilization, wait times, and completion times."""
+
+    def run(fast):
+        sim = Simulator()
+        res = Resource(sim, capacity=3, name="churn")
+        done = []
+
+        def proc(tag):
+            for _ in range(50):
+                if not res.try_acquire():
+                    yield res.acquire()
+                try:
+                    yield sim.timeout(1e-3)
+                finally:
+                    res.release()
+            done.append((tag, sim.now))
+
+        old = Resource.fast_path
+        Resource.fast_path = fast
+        try:
+            for tag in range(5):  # 5 procs > capacity 3: mixed contention
+                sim.process(proc(tag))
+            sim.run()
+        finally:
+            Resource.fast_path = old
+        return (
+            done,
+            sim.now,
+            res._acquisitions,
+            res._busy_area,
+            res._wait_time_total,
+            res.utilization(),
+        )
+
+    assert run(True) == run(False)
+
+
+# -- wait-time bookkeeping under abandoned waiters ----------------------
+
+
+def test_ungranted_waiters_leave_no_side_bookkeeping():
+    """Waiters that are never granted (holder never releases) must not
+    leak accounting state: the start time rides on the waiter entry,
+    not in an ``id(event)``-keyed side table."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder(sim):
+        yield res.acquire()
+        yield sim.timeout(1.0)
+        # never releases: the queued waiters are abandoned at run end
+
+    def waiter(sim):
+        yield res.acquire()
+
+    sim.process(holder(sim))
+    for _ in range(3):
+        sim.process(waiter(sim))
+    sim.run()
+    assert res.queue_length == 3
+    assert res._acquisitions == 1  # only the holder's zero-wait grant
+    assert res.mean_wait_s == 0.0
+    # regression: the historical id(event)-keyed table is gone entirely
+    assert not hasattr(res, "_wait_started")
+
+
+def test_wait_accounting_survives_event_id_reuse():
+    """Wait times are attributed per waiter entry even when earlier
+    event objects have been dropped (the id-reuse collision case)."""
+    import gc
+
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    times = []
+
+    def holder(sim):
+        yield res.acquire()
+        yield sim.timeout(4.0)
+        res.release()
+
+    def late_waiter(sim):
+        # churn some short-lived events first so their ids can be reused
+        for _ in range(100):
+            sim.event().succeed(None)
+        gc.collect()
+        yield res.acquire()
+        times.append(sim.now)
+        res.release()
+
+    sim.process(holder(sim))
+    sim.process(late_waiter(sim))
+    sim.run()
+    assert times == [4.0]
+    # 2 grants: holder waited 0, late waiter waited 4 -> mean 2
+    assert res.mean_wait_s == pytest.approx(2.0)
