@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.experiments import ALL_EXPERIMENTS
@@ -193,6 +194,19 @@ def _build_parser() -> argparse.ArgumentParser:
     status.add_argument(
         "--json", action="store_true",
         help="print the full machine-readable status",
+    )
+    status.add_argument(
+        "--prune", action="store_true",
+        help="prune the result store before reporting "
+             "(with --max-store-bytes / --ttl)",
+    )
+    status.add_argument(
+        "--max-store-bytes", type=int, default=None, metavar="BYTES",
+        help="store size budget: prune oldest records past this total",
+    )
+    status.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="store record time-to-live: prune records older than this",
     )
     return parser
 
@@ -461,8 +475,23 @@ def _cmd_serve(args) -> int:
 def _cmd_status(args) -> int:
     from repro.service.server import CampaignService
 
+    pruned = None
+    if args.prune:
+        if args.max_store_bytes is None and args.ttl is None:
+            print(
+                "status --prune needs --max-store-bytes and/or --ttl",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.service.store import ResultStore
+
+        pruned = ResultStore(os.path.join(args.state, "store")).prune(
+            max_bytes=args.max_store_bytes, ttl=args.ttl
+        )
     with CampaignService(args.state, workers=1) as service:
         info = service.status()
+    if pruned is not None:
+        info["pruned"] = pruned
     if args.json:
         print(json.dumps(info, indent=2))
         return 0
@@ -475,6 +504,13 @@ def _cmd_status(args) -> int:
     print(f"spool:   {info['spool_pending']} pending submission(s)")
     store = info["store"]
     print(f"store:   {store.get('entries', 0)} record(s)")
+    if pruned is not None:
+        print(
+            f"pruned:  {pruned['deleted']} record(s), "
+            f"{pruned['deleted_bytes']} bytes "
+            f"({pruned['entries_after']} record(s), "
+            f"{pruned['bytes_after']} bytes remain)"
+        )
     if info["recovered_running"]:
         print(
             "recovered (were running at last stop): "

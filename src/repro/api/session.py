@@ -464,6 +464,7 @@ class Session:
             qp_depth=self.spec.qp_depth,
             graph=self.dataset.graph,
             system_factory=warmed_system,
+            faults=self.spec.system.faults,
         )
 
     def sampling_cost(self, design: Optional[str] = None) -> BatchCost:

@@ -90,6 +90,8 @@ class SystemSpec:
     #: GPU-HBM software feature-cache budget for GIDS designs (MiB)
     gpu_cache_mb: float = 64.0
     hardware: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: degraded-operation plan (see repro.faults); ``None`` = none
+    faults: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         if self.fanouts is not None:
@@ -98,6 +100,10 @@ class SystemSpec:
             section: dict(fields)
             for section, fields in dict(self.hardware).items()
         }
+        if isinstance(self.faults, dict):
+            from repro.faults import FaultPlan
+
+            self.faults = FaultPlan.from_dict(self.faults)
 
     def validate(self) -> "SystemSpec":
         from repro.api.registry import design_entry
@@ -139,6 +145,15 @@ class SystemSpec:
             f"partition must be one of {PARTITION_METHODS}, "
             f"got {self.partition!r}",
         )
+        if self.faults is not None:
+            from repro.faults import FaultPlan
+
+            _require(
+                isinstance(self.faults, FaultPlan),
+                f"faults must be a FaultPlan or mapping, "
+                f"got {self.faults!r}",
+            )
+            self.faults.validate()
         self.build_hardware()  # validates section/field names
         return self
 
@@ -182,6 +197,10 @@ class SystemSpec:
         out = dataclasses.asdict(self)
         if out["fanouts"] is not None:
             out["fanouts"] = list(out["fanouts"])
+        if out["faults"] is None:
+            # absence and None are one state: pre-fault specs, their
+            # run keys, and their store records stay byte-identical
+            del out["faults"]
         return out
 
     @classmethod
@@ -273,6 +292,12 @@ class RunSpec:
             "checkpoint_bytes", self.checkpoint_bytes, minimum=0
         )
         self.system.validate()
+        _require(
+            self.system.faults is None
+            or self.mode not in ("analytic", "distributed-analytic"),
+            f"faults require an event-driven mode; "
+            f"mode {self.mode!r} is closed-form",
+        )
         return self
 
     # -- convenience -------------------------------------------------------

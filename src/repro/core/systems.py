@@ -115,14 +115,17 @@ class TrainingSystem:
     #: GPU-initiated access path (GIDS designs only)
     gids: Optional[object] = None
 
-    def attach(self, sim: Simulator) -> SystemRuntime:
-        ssd_state = self.ssd.attach(sim) if self.ssd else None
+    def attach(self, sim: Simulator, faults=None) -> SystemRuntime:
+        ssd_state = (
+            self.ssd.attach(sim, faults=faults) if self.ssd else None
+        )
         return SystemRuntime(
             sim=sim,
             ssd_state=ssd_state,
             pagecache_lock=Resource(sim, 1, name="pagecache-lock"),
             gids_state=(
-                self.gids.attach(sim, ssd_state) if self.gids else None
+                self.gids.attach(sim, ssd_state, faults=faults)
+                if self.gids else None
             ),
         )
 

@@ -160,14 +160,35 @@ class DistributedConsumer(GPUConsumer):
 
     def __init__(self, *args, allreduce_s: float = 0.0,
                  share_bytes: int = 0, state: Optional[FabricState] = None,
-                 accounts: bool = False, **kwargs):
+                 accounts: bool = False,
+                 recovery_at: Optional[int] = None,
+                 recovery_s: float = 0.0, **kwargs):
         super().__init__(*args, **kwargs)
         self.allreduce_s = allreduce_s
         self.share_bytes = share_bytes
         self.state = state
         self.accounts = accounts
+        #: batch index (within this consumer's own count) after which
+        #: the host fails and replays checkpoint recovery; ``None``
+        #: on healthy hosts (the default), which keeps this method's
+        #: zero-fault event schedule identical to the base consumer's
+        self.recovery_at = recovery_at
+        self.recovery_s = recovery_s
 
     def _post_train(self, sim):
+        if (
+            self.recovery_at is not None
+            and self.recovery_s > 0.0
+            and self.batches_done - 1 == self.recovery_at
+        ):
+            # host failure: detect, restore the last checkpoint, and
+            # re-warm the group's lost in-flight preparation before
+            # the epoch resumes where it left off
+            t0 = sim.now
+            yield sim.timeout(self.recovery_s)
+            self.phases.record(
+                "host_recovery", sim.now - t0, worker="gpu", start_s=t0
+            )
         if self.allreduce_s <= 0.0:
             return
         t0 = sim.now
@@ -283,17 +304,30 @@ class DistributedCoordinator:
         design = systems[0].design
 
         sim = Simulator()
+        inj = req.injector()
         state: Optional[FabricState] = None
         rpc: Optional[RpcChannel] = None
         allreduce_s = 0.0
         share = 0
         if fabric is not None:
-            state = fabric.attach(sim)
+            state = fabric.attach(sim, faults=inj)
             rpc = RpcChannel(fabric, state)
             allreduce_s = allreduce_time(fabric, grad_bytes)
             share = int(
                 allreduce_host_share_bytes(self.n_hosts, grad_bytes)
             )
+
+        # Host failures are drawn up front, one draw per host in host
+        # order, so which hosts fail is a pure function of the plan
+        # seed (independent of event interleaving).
+        failed_hosts = set()
+        if inj is not None and inj.plan.host_fail_rate > 0.0:
+            for h in range(self.n_hosts):
+                if inj.happens(
+                    f"host{h}.fail", inj.plan.host_fail_rate
+                ):
+                    failed_hosts.add(h)
+                    inj.charge("host_failures", 1)
 
         phases = PhaseAccumulator()
         consumers: List[GPUConsumer] = []
@@ -302,7 +336,29 @@ class DistributedCoordinator:
         for g, group_system in zip(group_ids, systems):
             host = g // self.n_shards
             batch_ids = self._group_batches(g)
-            runtime = group_system.attach(sim)
+            runtime = group_system.attach(sim, faults=inj)
+            recovery_at = None
+            recovery_s = 0.0
+            if host in failed_hosts and batch_ids:
+                # when the host dies (uniform over its groups' batch
+                # schedule) and what resuming costs: the checkpoint
+                # restore plus re-warming the in-flight batch each
+                # shard group lost (its preparation replays on the
+                # re-warmed engines)
+                recovery_at = int(
+                    inj.rng(f"host{host}.fail_at").integers(
+                        0, len(batch_ids)
+                    )
+                )
+                w = workloads[batch_ids[recovery_at] % len(workloads)]
+                rewarm_s = (
+                    group_system.sampling_engine.batch_cost(w).total_s
+                    + group_system.feature_engine.batch_cost(
+                        w.input_nodes
+                    ).total_s
+                )
+                recovery_s = inj.plan.host_recovery_s + rewarm_s
+                inj.charge("host_recovery_s", recovery_s)
             link = None
             if plan is not None:
                 pcie = hw.pcie
@@ -328,7 +384,7 @@ class DistributedCoordinator:
                 phases, shard=g, remote_bytes=remote, link=link,
                 host=host, traffic=traffic, rpc=rpc,
             )
-            if fabric is None:
+            if fabric is None and recovery_at is None:
                 consumer = GPUConsumer(
                     gpu, queue, len(batch_ids), phases,
                     ssd=group_system.ssd if req.checkpoint_every else None,
@@ -345,6 +401,8 @@ class DistributedCoordinator:
                     share_bytes=share,
                     state=state,
                     accounts=(g % self.n_shards == 0),
+                    recovery_at=recovery_at,
+                    recovery_s=recovery_s,
                 )
             group_procs = pool.spawn_all(req.n_workers)
             group_procs.append(
@@ -364,6 +422,8 @@ class DistributedCoordinator:
         stats.update(account.stats())
         if rpc is not None:
             stats["net_rpc_calls"] = float(rpc.calls)
+        if inj is not None:
+            stats.update(inj.stats())
         return PipelineResult(
             design=design,
             mode="distributed",

@@ -31,6 +31,7 @@ from repro.experiments import (  # noqa: F401
     fig17_worker_scaling,
     fig18_end_to_end,
     fig19_fpga,
+    fault_sweep,
     fig20_graphsaint,
     fig21_sampling_rate,
     gids_vs_isp,
@@ -77,6 +78,7 @@ ALL_EXPERIMENTS = {
     "host-scaling": host_scaling,
     "gids-vs-isp": gids_vs_isp,
     "service-traffic": service_traffic,
+    "fault-sweep": fault_sweep,
 }
 
 __all__ = [

@@ -1,0 +1,32 @@
+"""Deterministic fault injection for the simulated stack.
+
+SmartSAGE's argument puts storage on the critical path of GNN
+training, yet a perfect device hides the regimes real deployments
+must survive: flash reads that fail ECC and are retried, NVMe
+commands that time out and are aborted/reissued, fabric links that
+degrade or flap, whole hosts that fail mid-epoch.  This package
+models those regimes *deterministically*:
+
+* :class:`FaultPlan` -- the serializable spec section
+  (``SystemSpec.faults``).  All rates default to zero; a plan with
+  every rate at zero is behaviourally identical to no plan at all.
+* :class:`FaultInjector` -- per-run draw engine.  Every injection
+  site owns an independent, named random stream seeded from
+  ``sha256(f"{plan.seed}:{site}")``, so draws are reproducible
+  across processes and independent of how *other* sites interleave.
+  Because the discrete-event simulator is itself deterministic, the
+  sequence of draws at each site is a pure function of the spec --
+  repeated runs (any ``--jobs`` count, any host) see identical
+  faults.
+
+Zero-fault parity is by construction: backends only create an
+injector when ``faults`` is set, every hook is ``if injector``
+guarded, and a site draws nothing when its rate is zero -- so the
+unset and all-zero configurations schedule byte-identical event
+sequences and emit byte-identical records.
+"""
+
+from repro.faults.plan import FaultPlan
+from repro.faults.inject import FaultInjector
+
+__all__ = ["FaultPlan", "FaultInjector"]

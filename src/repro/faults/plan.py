@@ -1,0 +1,125 @@
+"""The serializable fault-plan spec section (``SystemSpec.faults``)."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Degraded-operation knobs, all defaulting to "no faults".
+
+    Rates are per-opportunity probabilities: a flash-read error rate
+    applies per flash page read, an NVMe timeout rate per submitted
+    command bundle, a link flap rate per fabric transfer, a host
+    failure rate per host per epoch.  Costs price what the fault
+    adds: an ECC re-read re-runs the flash access, a timed-out
+    command stalls for the timeout then is reissued, a flapped
+    transfer is retransmitted, a failed host replays checkpoint
+    recovery and shard re-warm work.
+    """
+
+    #: base seed for every injection site's random stream
+    seed: int = 0
+    #: probability a flash page read fails ECC and is re-read
+    flash_read_error_rate: float = 0.0
+    #: extra device time per ECC re-read (``None`` -> one raw
+    #: flash page read at the device's QD1 page latency)
+    flash_reread_s: Optional[float] = None
+    #: probability an NVMe command bundle times out and is reissued
+    nvme_timeout_rate: float = 0.0
+    #: host-visible stall per timed-out command (detect + abort)
+    nvme_timeout_s: float = 1e-3
+    #: fraction of fabric link bandwidth lost to degradation
+    link_degrade_frac: float = 0.0
+    #: probability a fabric transfer is lost and retransmitted
+    link_flap_rate: float = 0.0
+    #: probability each host fails during an epoch (distributed mode)
+    host_fail_rate: float = 0.0
+    #: wall time to detect the failure and restore from checkpoint
+    host_recovery_s: float = 5e-3
+
+    _RATES = (
+        "flash_read_error_rate",
+        "nvme_timeout_rate",
+        "link_flap_rate",
+        "host_fail_rate",
+    )
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigError(
+                f"faults.seed must be an int, got {self.seed!r}"
+            )
+        for name in self._RATES:
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ):
+                raise ConfigError(
+                    f"faults.{name} must be a number, got {value!r}"
+                )
+            if not 0.0 <= float(value) <= 1.0:
+                raise ConfigError(
+                    f"faults.{name} must be in [0, 1], got {value}"
+                )
+        if not 0.0 <= float(self.link_degrade_frac) < 1.0:
+            raise ConfigError(
+                "faults.link_degrade_frac must be in [0, 1), got "
+                f"{self.link_degrade_frac}"
+            )
+        for name in ("nvme_timeout_s", "host_recovery_s"):
+            value = getattr(self, name)
+            if not float(value) > 0.0:
+                raise ConfigError(
+                    f"faults.{name} must be positive, got {value}"
+                )
+        if self.flash_reread_s is not None and not (
+            float(self.flash_reread_s) > 0.0
+        ):
+            raise ConfigError(
+                "faults.flash_reread_s must be positive or None, got "
+                f"{self.flash_reread_s}"
+            )
+
+    @property
+    def any_storage(self) -> bool:
+        """Whether any storage-side fault can ever fire."""
+        return (
+            self.flash_read_error_rate > 0.0
+            or self.nvme_timeout_rate > 0.0
+        )
+
+    @property
+    def any_fabric(self) -> bool:
+        """Whether any fabric-side fault can ever fire."""
+        return self.link_degrade_frac > 0.0 or self.link_flap_rate > 0.0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if isinstance(data, cls):
+            return data
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"faults must be a mapping, got {data!r}"
+            )
+        known = {f.name for f in dataclasses.fields(cls) if f.init}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown faults field(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**data)

@@ -66,8 +66,17 @@ class TrafficAccount:
         self.messages_by_class: Dict[str, int] = {
             cls: 0 for cls in TRAFFIC_CLASSES
         }
+        #: payload bytes resent after transient link faults (fault
+        #: injection only; stays all-zero -- and out of stats() -- on
+        #: a healthy fabric)
+        self.retransmit_bytes_by_class: Dict[str, int] = {
+            cls: 0 for cls in TRAFFIC_CLASSES
+        }
+        self.retransmits_by_class: Dict[str, int] = {
+            cls: 0 for cls in TRAFFIC_CLASSES
+        }
 
-    def add(self, cls: str, nbytes: int, messages: int = 1) -> None:
+    def _check(self, cls: str, nbytes: int, messages: int) -> None:
         if cls not in self.bytes_by_class:
             raise ConfigError(
                 f"unknown traffic class {cls!r}; one of {TRAFFIC_CLASSES}"
@@ -77,8 +86,19 @@ class TrafficAccount:
                 f"traffic must be non-negative, got {nbytes} bytes / "
                 f"{messages} messages"
             )
+
+    def add(self, cls: str, nbytes: int, messages: int = 1) -> None:
+        self._check(cls, nbytes, messages)
         self.bytes_by_class[cls] += int(nbytes)
         self.messages_by_class[cls] += int(messages)
+
+    def add_retransmit(
+        self, cls: str, nbytes: int, messages: int = 1
+    ) -> None:
+        """Charge a faulted transfer's resent payload to ``cls``."""
+        self._check(cls, nbytes, messages)
+        self.retransmit_bytes_by_class[cls] += int(nbytes)
+        self.retransmits_by_class[cls] += int(messages)
 
     @property
     def total_bytes(self) -> int:
@@ -88,14 +108,33 @@ class TrafficAccount:
     def total_messages(self) -> int:
         return sum(self.messages_by_class.values())
 
+    @property
+    def total_retransmit_bytes(self) -> int:
+        return sum(self.retransmit_bytes_by_class.values())
+
+    @property
+    def total_retransmits(self) -> int:
+        return sum(self.retransmits_by_class.values())
+
     def stats(self, prefix: str = "net_") -> Dict[str, float]:
-        """Flat scalar dict for ``PipelineResult.backend_stats``."""
+        """Flat scalar dict for ``PipelineResult.backend_stats``.
+
+        Retransmit keys appear only when a retransmit happened, so
+        fault-free runs keep their historical byte-identical records.
+        """
         out = {
             f"{prefix}{cls}_bytes": float(n)
             for cls, n in self.bytes_by_class.items()
         }
         out[f"{prefix}bytes"] = float(self.total_bytes)
         out[f"{prefix}messages"] = float(self.total_messages)
+        if self.total_retransmits:
+            for cls, n in self.retransmit_bytes_by_class.items():
+                out[f"{prefix}{cls}_retransmit_bytes"] = float(n)
+            out[f"{prefix}retransmit_bytes"] = float(
+                self.total_retransmit_bytes
+            )
+            out[f"{prefix}retransmits"] = float(self.total_retransmits)
         return out
 
     def __repr__(self) -> str:
@@ -213,9 +252,14 @@ class NetworkFabric:
 
     # -- event-driven face -------------------------------------------------
 
-    def attach(self, sim) -> "FabricState":
-        """Materialize the per-link contention resources on ``sim``."""
-        return FabricState(self, sim)
+    def attach(self, sim, faults=None) -> "FabricState":
+        """Materialize the per-link contention resources on ``sim``.
+
+        ``faults`` (a :class:`~repro.faults.FaultInjector`) degrades
+        every link's bandwidth by the plan's ``link_degrade_frac`` and
+        makes transfers flap-and-retransmit at ``link_flap_rate``.
+        """
+        return FabricState(self, sim, faults=faults)
 
     def __repr__(self) -> str:
         return (
@@ -227,15 +271,23 @@ class NetworkFabric:
 class FabricState:
     """One simulation's live fabric: NIC links + shared rack uplinks."""
 
-    def __init__(self, fabric: NetworkFabric, sim):
+    def __init__(self, fabric: NetworkFabric, sim, faults=None):
         self.fabric = fabric
         self.sim = sim
         self.account = TrafficAccount()
+        self.faults = faults
         p = fabric.params
+        # Degraded links run at a fraction of nominal bandwidth; the
+        # healthy factor is exactly 1.0 so fault-free simulations see
+        # the nominal (bit-identical) link rates.
+        healthy = 1.0
+        if faults is not None and faults.plan.link_degrade_frac > 0.0:
+            healthy = 1.0 - faults.plan.link_degrade_frac
         self.nics: List[BandwidthLink] = [
             BandwidthLink(
                 sim,
-                p.intra_rack_bandwidth,
+                p.intra_rack_bandwidth if healthy == 1.0
+                else p.intra_rack_bandwidth * healthy,
                 p.intra_rack_latency_s,
                 name=f"host{h}.nic",
             )
@@ -246,7 +298,8 @@ class FabricState:
         self.uplinks: List[Optional[BandwidthLink]] = [
             BandwidthLink(
                 sim,
-                p.cross_rack_bandwidth,
+                p.cross_rack_bandwidth if healthy == 1.0
+                else p.cross_rack_bandwidth * healthy,
                 p.cross_rack_latency_s - p.intra_rack_latency_s
                 if p.cross_rack_latency_s > p.intra_rack_latency_s
                 else 0.0,
@@ -276,6 +329,20 @@ class FabricState:
             yield from self.uplinks[self.fabric.rack_of(src)].transfer(
                 nbytes
             )
+        inj = self.faults
+        if inj is not None and inj.happens(
+            f"fabric.host{src}.nic", inj.plan.link_flap_rate
+        ):
+            # transient flap: the payload is lost in flight and the
+            # sender pays the full path again for the retransmit
+            self.account.add_retransmit(cls, nbytes)
+            inj.charge("link_retransmits", 1)
+            inj.charge("link_retransmit_bytes", nbytes)
+            yield from self.nics[src].transfer(nbytes)
+            if not self.fabric.same_rack(src, dst):
+                yield from self.uplinks[
+                    self.fabric.rack_of(src)
+                ].transfer(nbytes)
 
     def utilization(self, elapsed: Optional[float] = None) -> Dict[str, float]:
         """Busy fraction per link (NICs and uplinks)."""

@@ -501,3 +501,64 @@ def _bench_sweep_batch(ctx):
     elapsed = ctx.time(lambda: run(True))
     reference = ctx.time(lambda: run(False))
     return ctx.result(ops=n_points, elapsed_s=elapsed, reference_s=reference)
+
+
+@register_benchmark(
+    "fault-overhead",
+    tags=("macro", "e2e", "faults"),
+    description="zero-fault pipeline cost with the injection hooks in place (vs no plan at all)",
+)
+def _bench_fault_overhead(ctx):
+    """The fault layer's tax on clean runs: ideally indistinguishable.
+
+    Times the same event-mode pipeline twice -- ``faults`` unset vs. an
+    attached all-zero-rate :class:`~repro.faults.FaultPlan` -- and
+    asserts the two produce byte-identical result dicts (the parity
+    contract).  ``reference_s`` is the no-plan run, so the regression
+    gate bounds the hook overhead itself; ``overhead_fraction`` reports
+    it directly.
+    """
+    import dataclasses
+    import time
+
+    from repro.api import RunSpec, Session, SystemSpec
+    from repro.faults import FaultPlan
+    from repro.service.store import result_to_dict
+
+    spec = RunSpec(
+        dataset="reddit",
+        edge_budget=ctx.scale(4e5, 1.2e5),
+        batch_size=ctx.scale(64, 32),
+        n_workloads=4,
+        n_batches=ctx.scale(24, 6),
+        n_workers=2,
+        mode="event",
+        system=SystemSpec(design="smartsage-hwsw"),
+    )
+    zero_spec = spec.replace(
+        system=dataclasses.replace(spec.system, faults=FaultPlan())
+    )
+    with ctx.stage("build"):
+        base = Session.from_spec(spec)
+        base.workloads  # materialize dataset + workload pool once
+
+    def run(s):
+        return Session(
+            s, dataset=base.dataset, workloads=base.workloads
+        ).run()
+
+    clean, zeroed = run(spec), run(zero_spec)  # warm + parity check
+    if result_to_dict(clean) != result_to_dict(zeroed):
+        raise AssertionError(
+            "zero-rate fault plan changed the pipeline result"
+        )
+    elapsed = ctx.time(lambda: run(zero_spec))
+    reference = ctx.time(lambda: run(spec))
+    return ctx.result(
+        ops=spec.n_batches,
+        elapsed_s=elapsed,
+        reference_s=reference,
+        overhead_fraction=(
+            elapsed / reference - 1.0 if reference > 0 else 0.0
+        ),
+    )

@@ -105,7 +105,8 @@ class _AsyncStages:
 def _plan_async(request: ExecutionRequest) -> PipelineResult:
     system, gpu = request.base_system(), request.gpu
     sim = Simulator()
-    runtime = system.attach(sim)
+    inj = request.injector()
+    runtime = system.attach(sim, faults=inj)
     phases = PhaseAccumulator()
     prefetch = WorkQueue(sim, depth=request.prefetch_depth)
     credits = Resource(
@@ -144,5 +145,8 @@ def _plan_async(request: ExecutionRequest) -> PipelineResult:
         phase_means={
             phase: stat.mean for phase, stat in phases.stats.items()
         },
-        backend_stats={"prefetch_depth": float(request.prefetch_depth)},
+        backend_stats={
+            "prefetch_depth": float(request.prefetch_depth),
+            **(inj.stats() if inj is not None else {}),
+        },
     )

@@ -117,6 +117,9 @@ class ExecutionRequest:
     qp_depth: int = 64
     graph: Optional[object] = None     # CSRGraph
     system_factory: Optional[Callable[[], object]] = None
+    #: degraded-operation plan (repro.faults.FaultPlan); event-driven
+    #: backends create one fresh FaultInjector per simulation from it
+    faults: Optional[object] = None
 
     def base_system(self):
         """The request's system, built on first use when only a
@@ -173,7 +176,28 @@ class ExecutionRequest:
                 f"fabric must be one of {FABRIC_TOPOLOGIES}, "
                 f"got {self.fabric!r}"
             )
+        if self.faults is not None:
+            from repro.faults import FaultPlan
+
+            if isinstance(self.faults, dict):
+                self.faults = FaultPlan.from_dict(self.faults)
+            if not isinstance(self.faults, FaultPlan):
+                raise ConfigError(
+                    f"faults must be a FaultPlan or mapping, "
+                    f"got {self.faults!r}"
+                )
+            self.faults.validate()
         return self
+
+    def injector(self):
+        """A fresh :class:`~repro.faults.FaultInjector` for one
+        simulation, or ``None`` when no plan is set.  Fresh per call
+        so repeated runs of one request replay identical faults."""
+        if self.faults is None:
+            return None
+        from repro.faults import FaultInjector
+
+        return FaultInjector(self.faults)
 
 
 class ExecutionBackend:

@@ -31,7 +31,8 @@ __all__ = []
 def _plan_event(request: ExecutionRequest) -> PipelineResult:
     system, gpu = request.base_system(), request.gpu
     sim = Simulator()
-    runtime = system.attach(sim)
+    inj = request.injector()
+    runtime = system.attach(sim, faults=inj)
     phases = PhaseAccumulator()
     queue = WorkQueue(sim, depth=request.queue_depth)
     pool = ProducerPool(
@@ -58,4 +59,5 @@ def _plan_event(request: ExecutionRequest) -> PipelineResult:
         phase_means={
             phase: stat.mean for phase, stat in phases.stats.items()
         },
+        backend_stats=inj.stats() if inj is not None else {},
     )

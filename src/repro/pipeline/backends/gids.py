@@ -81,7 +81,8 @@ def _plan_gids(request: ExecutionRequest) -> PipelineResult:
     cache_misses0 = cache.misses if cache else 0
 
     sim = Simulator()
-    runtime = system.attach(sim)
+    inj = request.injector()
+    runtime = system.attach(sim, faults=inj)
     phases = PhaseAccumulator()
     queue = WorkQueue(sim, depth=request.queue_depth)
     pool = _FetchKernelPool(
@@ -125,5 +126,6 @@ def _plan_gids(request: ExecutionRequest) -> PipelineResult:
             "gpu_cache_hit_rate": (
                 hits / accesses if accesses else 0.0
             ),
+            **(inj.stats() if inj is not None else {}),
         },
     )

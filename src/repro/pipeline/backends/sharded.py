@@ -165,13 +165,14 @@ def _plan_sharded(request: ExecutionRequest) -> PipelineResult:
         ]
 
     sim = Simulator()
+    inj = request.injector()
     phases = PhaseAccumulator()
     consumers: List[GPUConsumer] = []
     pools: List[ShardProducerPool] = []
     procs = []
     for k, group_system in zip(group_ids, group_systems):
         batch_ids = list(range(k, request.n_batches, n_shards))
-        runtime = group_system.attach(sim)
+        runtime = group_system.attach(sim, faults=inj)
         link = None
         if part is not None:
             # Shard-local PCIe ingress port (gen3 x16 class, one extra
@@ -216,6 +217,8 @@ def _plan_sharded(request: ExecutionRequest) -> PipelineResult:
     }
     if part is not None:
         stats.update(part.stats())
+    if inj is not None:
+        stats.update(inj.stats())
     return PipelineResult(
         design=design,
         mode="sharded",

@@ -39,6 +39,7 @@ def run_pipeline(
     qp_depth: int = 64,
     graph: Optional[object] = None,
     system_factory=None,
+    faults=None,
 ) -> PipelineResult:
     """Simulate ``n_batches`` of training on ``system`` via ``mode``.
 
@@ -58,6 +59,9 @@ def run_pipeline(
     warmed system per device group so multi-device backends get
     independent cache state per shard; when it is given, ``system`` may
     be ``None`` and backends materialize instances lazily.
+    ``faults`` (optional :class:`~repro.faults.FaultPlan`) injects
+    deterministic storage/fabric/host faults into the event-driven
+    backends; closed-form modes reject it at spec validation.
     """
     entry = backend_entry(mode)
     request = ExecutionRequest(
@@ -77,5 +81,6 @@ def run_pipeline(
         qp_depth=qp_depth,
         graph=graph,
         system_factory=system_factory,
+        faults=faults,
     ).validate()
     return entry.plan(request)

@@ -27,12 +27,20 @@ re-simulating.  The pieces:
   graceful drain shared with :class:`repro.api.campaign.Campaign`.
 * :mod:`repro.service.traffic` -- the open-loop traffic generator
   behind the ``service-traffic`` experiment.
+* :mod:`repro.service.chaos` -- seeded chaos drills (worker kills,
+  journal truncation, spool drops) plus the exactly-once store
+  verifier backing the recovery tests and the CI chaos smoke.
 
 CLI: ``python -m repro submit <state> spec.json``, ``python -m repro
 serve <state> --workers N [--once]``, ``python -m repro status
 <state>``.
 """
 
+from repro.service.chaos import (
+    ChaosMonkey,
+    chaos_drain,
+    verify_exactly_once,
+)
 from repro.service.jobs import Job, JobQueue, Spool
 from repro.service.server import CampaignService, ServiceReport
 from repro.service.store import (
@@ -72,4 +80,7 @@ __all__ = [
     "spec_pool",
     "replay",
     "traffic_summary",
+    "ChaosMonkey",
+    "chaos_drain",
+    "verify_exactly_once",
 ]

@@ -81,19 +81,34 @@ class JobQueue:
     line first, and :meth:`recover` rebuilds state from the file.
     """
 
-    def __init__(self, journal_path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        journal_path: Optional[str] = None,
+        compact: bool = True,
+    ) -> None:
         self.journal_path = journal_path
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._heap: List[Tuple[int, int, str]] = []
         self._seq = 0
         self._journal_file = None
+        #: journal lines dropped by startup compaction (observability)
+        self.compacted_lines = 0
         if journal_path is not None:
             os.makedirs(
                 os.path.dirname(os.path.abspath(journal_path)),
                 exist_ok=True,
             )
-            self._recover_locked()
+            replayed = self._recover_locked()
+            # Once replay succeeded, the journal's history is
+            # redundant: one snapshot line per live job reproduces the
+            # exact post-recovery state, so long-lived services stop
+            # replaying unbounded history.  Only rewrite when it
+            # actually shrinks the file (a submits-only journal is
+            # already minimal).
+            if compact and replayed > len(self._jobs):
+                self._compact()
+                self.compacted_lines = replayed - len(self._jobs)
             self._journal_file = open(
                 journal_path, "a", encoding="utf-8"
             )
@@ -109,10 +124,16 @@ class JobQueue:
         self._journal_file.flush()
         os.fsync(self._journal_file.fileno())
 
-    def _recover_locked(self) -> None:
-        """Replay the journal: terminal states stick, running re-queues."""
+    def _recover_locked(self) -> int:
+        """Replay the journal: terminal states stick, running re-queues.
+
+        Returns the number of journal lines successfully applied (the
+        compaction decision compares it against the live job count).
+        """
         if not os.path.exists(self.journal_path):
-            return
+            self._interrupted = ()
+            return 0
+        replayed = 0
         interrupted: List[str] = []
         with open(self.journal_path, "r", encoding="utf-8") as f:
             for line_no, line in enumerate(f, 1):
@@ -126,6 +147,7 @@ class JobQueue:
                     # line; anything before it already fsynced
                     continue
                 self._apply(event, line_no)
+                replayed += 1
         for job_id, job in self._jobs.items():
             if job.state == "running":
                 interrupted.append(job_id)
@@ -135,6 +157,53 @@ class JobQueue:
             job.started_at = None
             self._push(job)
         self._interrupted = tuple(interrupted)
+        return replayed
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal as one snapshot per job.
+
+        Runs only at startup, after replay and re-queue, before the
+        append handle opens -- the queue is still single-threaded, so
+        the snapshot is a consistent image of the recovered state.
+        """
+        journal_dir = os.path.dirname(os.path.abspath(self.journal_path))
+        fd, tmp = tempfile.mkstemp(
+            prefix=".journal-", suffix=".jsonl", dir=journal_dir
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                for job in self._jobs.values():
+                    f.write(
+                        json.dumps(self._snapshot(job), sort_keys=True)
+                        + "\n"
+                    )
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, self.journal_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _snapshot(job: Job) -> dict:
+        """One journal event reproducing ``job``'s entire state."""
+        return {
+            "e": "job",
+            "job": job.job_id,
+            "key": job.key,
+            "spec": job.spec,
+            "priority": job.priority,
+            "state": job.state,
+            "source": job.source,
+            "attempts": job.attempts,
+            "error": job.error,
+            "submitted_at": job.submitted_at,
+            "started_at": job.started_at,
+            "finished_at": job.finished_at,
+        }
 
     def _apply(self, event: dict, line_no: int) -> None:
         kind = event.get("e")
@@ -149,6 +218,31 @@ class JobQueue:
             )
             self._jobs[job_id] = job
             self._push(job)
+            return
+        if kind == "job":
+            # compaction snapshot: the full job state in one line
+            job = Job(
+                job_id=job_id,
+                key=event["key"],
+                spec=event["spec"],
+                priority=int(event.get("priority", 0)),
+                state=event.get("state", "queued"),
+                source=event.get("source"),
+                attempts=int(event.get("attempts", 0)),
+                error=event.get("error"),
+                submitted_at=float(event.get("submitted_at", 0.0)),
+                started_at=event.get("started_at"),
+                finished_at=event.get("finished_at"),
+            )
+            if job.state not in JOB_STATES:
+                raise ConfigError(
+                    f"journal {self.journal_path!r} line {line_no}: "
+                    f"snapshot for {job_id!r} has unknown state "
+                    f"{job.state!r}"
+                )
+            self._jobs[job_id] = job
+            if job.state == "queued":
+                self._push(job)
             return
         job = self._jobs.get(job_id)
         if job is None:

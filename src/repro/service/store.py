@@ -231,6 +231,82 @@ class ResultStore:
             make_record(key, spec_dict, result_to_dict(result))
         )
 
+    # -- maintenance -------------------------------------------------------
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        ttl: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Bound the store: drop expired and least-recent records.
+
+        Two independent policies, applied in order:
+
+        * ``ttl`` (seconds) -- delete records whose file modification
+          time is older than ``ttl`` seconds ago;
+        * ``max_bytes`` -- then delete oldest-first until the remaining
+          records fit the budget.
+
+        Records are evaluated results and can always be regenerated
+        from their specs, so pruning is safe at any time; concurrent
+        readers racing a deletion simply see a miss and re-evaluate.
+        Returns a summary (entries/bytes before and after, deletions).
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ConfigError(
+                f"max_bytes must be >= 0, got {max_bytes}"
+            )
+        if ttl is not None and ttl < 0:
+            raise ConfigError(f"ttl must be >= 0, got {ttl}")
+        import time
+
+        entries = []
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        entries.sort()  # oldest first
+        total = sum(size for _, size, _ in entries)
+        summary = {
+            "entries_before": len(entries),
+            "bytes_before": total,
+            "deleted": 0,
+            "deleted_bytes": 0,
+        }
+
+        def drop(mtime_size_path) -> None:
+            _, size, path = mtime_size_path
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            except OSError:
+                return
+            summary["deleted"] += 1
+            summary["deleted_bytes"] += size
+
+        kept = entries
+        if ttl is not None:
+            cutoff = time.time() - ttl
+            expired = [e for e in kept if e[0] < cutoff]
+            kept = [e for e in kept if e[0] >= cutoff]
+            for entry in expired:
+                drop(entry)
+        if max_bytes is not None:
+            live = sum(size for _, size, _ in kept)
+            while kept and live > max_bytes:
+                entry = kept.pop(0)
+                live -= entry[1]
+                drop(entry)
+        summary["entries_after"] = (
+            summary["entries_before"] - summary["deleted"]
+        )
+        summary["bytes_after"] = total - summary["deleted_bytes"]
+        return summary
+
     # -- observability -----------------------------------------------------
 
     def stats(self) -> Dict[str, int]:

@@ -82,6 +82,15 @@ class FlashController:
         )
         self.ftl = FlashTranslationLayer(total_pages, seed=ftl_seed)
         self.extents_read = 0
+        #: page reads repeated because the first attempt failed ECC
+        #: (only fault injection charges this; see repro.faults)
+        self.ecc_rereads = 0
+
+    def record_ecc_rereads(self, n: int) -> None:
+        """Charge ``n`` ECC-failed page reads that were re-read."""
+        if n > 0:
+            self.ecc_rereads += int(n)
+            self.nand.pages_read += int(n)
 
     @property
     def lbas_per_page(self) -> int:

@@ -226,9 +226,11 @@ class GIDSController:
         sim,
         ssd_state: SSDState,
         qp_depth: Optional[int] = None,
+        faults=None,
     ) -> "GIDSState":
         return GIDSState(
-            sim, self, ssd_state, qp_depth or self.qp_depth
+            sim, self, ssd_state, qp_depth or self.qp_depth,
+            faults=faults,
         )
 
 
@@ -249,10 +251,17 @@ class GIDSState:
         controller: GIDSController,
         ssd_state: SSDState,
         qp_depth: int,
+        faults=None,
     ):
         self.sim = sim
         self.controller = controller
         self.ssd_state = ssd_state
+        #: FaultInjector, or None for the (default) perfect path;
+        #: draws use GIDS-specific sites so the GPU-initiated path
+        #: faults independently of host commands on the same device
+        self.faults = faults if faults is not None else (
+            ssd_state.faults if ssd_state is not None else None
+        )
         pcie = controller.ssd.hw.pcie
         self.bar_link = BandwidthLink(
             sim,
@@ -290,6 +299,10 @@ class GIDSState:
             try:
                 # warp-parallel SQ build + doorbell + completion poll
                 yield self.sim.timeout(ctl.submission_cost(k))
+                if self.faults is not None:
+                    # a timed-out command stalls the whole warp (it
+                    # polls one completion) before the reissue
+                    yield from ssd_state.nvme_timeout_stall("gids.nvme")
                 # firmware + FTL on the SSD's embedded cores
                 if not ssd_state.cores.try_acquire():
                     yield ssd_state.cores.acquire()
@@ -301,10 +314,15 @@ class GIDSState:
                 finally:
                     ssd_state.cores.release()
                 # flash array reads
+                flash_s = k * flash_t
+                if self.faults is not None:
+                    flash_s += ssd_state.flash_reread_s(
+                        k * pages, "gids.flash"
+                    )
                 if not ssd_state.flash.try_acquire():
                     yield ssd_state.flash.acquire()
                 try:
-                    yield self.sim.timeout(k * flash_t)
+                    yield self.sim.timeout(flash_s)
                 finally:
                     ssd_state.flash.release()
                 ssd_state.flash_pages_read += k * pages

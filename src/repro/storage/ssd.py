@@ -174,8 +174,8 @@ class SSDevice:
     # event-mode state
     # ------------------------------------------------------------------
 
-    def attach(self, sim: Simulator) -> "SSDState":
-        return SSDState(sim, self)
+    def attach(self, sim: Simulator, faults=None) -> "SSDState":
+        return SSDState(sim, self, faults=faults)
 
 
 class SSDState:
@@ -188,7 +188,7 @@ class SSDState:
     #: flash pages per ISP lane quantum
     ISP_PAGE_QUANTUM = 4
 
-    def __init__(self, sim: Simulator, ssd: SSDevice):
+    def __init__(self, sim: Simulator, ssd: SSDevice, faults=None):
         self.sim = sim
         self.ssd = ssd
         hw = ssd.hw
@@ -201,6 +201,36 @@ class SSDState:
         self.translate_s = hw.embedded.ftl_translate_s
         self.host_bytes_out = 0
         self.flash_pages_read = 0
+        #: FaultInjector, or None for the (default) perfect device
+        self.faults = faults
+
+    # -- fault hooks ---------------------------------------------------
+
+    def flash_reread_s(self, n_pages: int, site: str) -> float:
+        """ECC re-read time to add inside a flash hold covering
+        ``n_pages`` page reads (0.0 when no injector / zero rate)."""
+        inj = self.faults
+        if inj is None or n_pages <= 0:
+            return 0.0
+        n_err = inj.count(site, n_pages, inj.plan.flash_read_error_rate)
+        if n_err <= 0:
+            return 0.0
+        reread = inj.plan.flash_reread_s
+        if reread is None:
+            reread = self.ssd.nand.page_service_time()
+        inj.charge("flash_rereads", n_err)
+        self.ssd.controller.record_ecc_rereads(n_err)
+        return n_err * reread
+
+    def nvme_timeout_stall(self, site: str):
+        """Generator: the abort-and-reissue stall when this command
+        bundle times out (no events at all when nothing fires)."""
+        inj = self.faults
+        if inj is not None and inj.happens(
+            site, inj.plan.nvme_timeout_rate
+        ):
+            inj.charge("nvme_timeouts", 1)
+            yield self.sim.timeout(inj.plan.nvme_timeout_s)
 
     # -- host (mmap / direct I/O) path ---------------------------------
 
@@ -228,6 +258,10 @@ class SSDState:
             k = min(self.BUNDLE, remaining)
             remaining -= k
             misses = k * (1.0 - buffered_frac)
+            if self.faults is not None:
+                # NVMe command timeout: the worker stalls for the
+                # detection window, aborts, and reissues the bundle
+                yield from self.nvme_timeout_stall("ssd.nvme")
             # firmware + FTL on the embedded cores
             if not self.cores.try_acquire():
                 yield self.cores.acquire()
@@ -239,10 +273,15 @@ class SSDState:
                 self.cores.release()
             # flash array (only the page-buffer misses)
             if misses > 0:
+                flash_s = misses * flash_t
+                if self.faults is not None:
+                    flash_s += self.flash_reread_s(
+                        int(round(misses * pages)), "ssd.flash"
+                    )
                 if not self.flash.try_acquire():
                     yield self.flash.acquire()
                 try:
-                    yield self.sim.timeout(misses * flash_t)
+                    yield self.sim.timeout(flash_s)
                 finally:
                     self.flash.release()
                 self.flash_pages_read += int(round(misses * pages))
@@ -281,16 +320,22 @@ class SSDState:
             quanta.append(n_pages % quantum)
         self.flash_pages_read += n_pages
 
-        # Shared work list drained by lane processes.
-        work = list(reversed(quanta))
+        # Shared work list (seconds of flash time per quantum) drained
+        # by lane processes.  ECC re-reads ride on the last quantum so
+        # the zero-fault schedule is untouched.
+        work = [q * page_t for q in reversed(quanta)]
+        if self.faults is not None:
+            reread_s = self.flash_reread_s(n_pages, "ssd.isp_flash")
+            if reread_s > 0.0:
+                work[0] += reread_s
 
         def lane(sim):
             while work:
-                q = work.pop()
+                q_s = work.pop()
                 if not self.flash.try_acquire():
                     yield self.flash.acquire()
                 try:
-                    yield sim.timeout(q * page_t)
+                    yield sim.timeout(q_s)
                 finally:
                     self.flash.release()
 

@@ -39,6 +39,7 @@ EXTENSION_EXPERIMENTS = (
     "calibration", "energy", "batch-sensitivity", "ablations",
     "fidelity", "cache-sensitivity", "depth-sensitivity",
     "shard-scaling", "host-scaling", "gids-vs-isp", "service-traffic",
+    "fault-sweep",
 )
 
 

@@ -1,0 +1,415 @@
+"""Chaos drills and recovery-edge tests for the service stack.
+
+Covers the `repro.service.chaos` harness (worker kills, journal
+truncation, spool drops), the recovery edges the design claims --
+torn multi-line journal tails, BrokenProcessPool rebuild exhausting
+retries, submissions racing shutdown -- and the maintenance surface
+(journal compaction on startup, result-store pruning).
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import (
+    CampaignService,
+    JobQueue,
+    ResultStore,
+    Spool,
+    make_record,
+    run_key,
+)
+from repro.service.chaos import (
+    ChaosMonkey,
+    chaos_drain,
+    verify_exactly_once,
+)
+from repro.service.traffic import spec_pool
+
+POOL = spec_pool(3, edge_budget=5e4, batch_size=8, n_batches=2)
+
+
+def fake_work(spec_dict, store_root):
+    return make_record(run_key(spec_dict), spec_dict, {"payload": 1.0})
+
+
+def suicide_work(spec_dict, store_root):
+    """A worker that dies mid-unit: the pool breaks on every attempt."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+# -- ChaosMonkey primitives ------------------------------------------------
+
+
+def test_monkey_validates_seed_and_is_reproducible(tmp_path):
+    with pytest.raises(ConfigError, match="seed"):
+        ChaosMonkey(seed=1.5)
+    # over identical state, the same seed picks the same victim index
+    picked = []
+    for run in range(2):
+        spool_dir = str(tmp_path / f"spool{run}")
+        spool = Spool(spool_dir)
+        for i in range(6):
+            spool.append({"x": i})
+        names = sorted(os.listdir(spool_dir))
+        victim = ChaosMonkey(seed=9).drop_spool_entry(spool_dir)
+        picked.append(names.index(victim))
+    assert picked[0] == picked[1]
+
+
+def test_monkey_kill_worker_needs_a_process_pool(tmp_path):
+    with CampaignService(
+        str(tmp_path / "state"), workers=1, executor="thread",
+        work_fn=fake_work,
+    ) as svc:
+        svc._ensure_pool()
+        assert ChaosMonkey().kill_worker(svc) is None
+
+
+def test_monkey_truncate_journal(tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    q = JobQueue(journal)
+    a = q.submit("run:a", {"x": 1})
+    b = q.submit("run:b", {"x": 2})
+    q.mark_done(q.next_job(), "computed")  # a: done
+    q.mark_done(q.next_job(), "computed")  # b: done
+    q.close()
+    monkey = ChaosMonkey(seed=0)
+    # drop b's done + start lines and leave a torn tail
+    assert monkey.truncate_journal(journal, lines=2) == 2
+    q2 = JobQueue(journal, compact=False)
+    assert q2.job(a.job_id).state == "done"
+    assert q2.job(b.job_id).state == "queued"  # its start/done were torn
+    q2.close()
+    assert monkey.stats()["truncate_journal"] == 1
+
+
+def test_monkey_truncate_missing_journal_is_a_noop(tmp_path):
+    assert ChaosMonkey().truncate_journal(
+        str(tmp_path / "nope.jsonl")
+    ) == 0
+
+
+def test_monkey_drop_spool_entry(tmp_path):
+    spool = Spool(str(tmp_path / "spool"))
+    spool.append({"x": 1})
+    spool.append({"x": 2})
+    monkey = ChaosMonkey(seed=1)
+    assert monkey.drop_spool_entry(spool.root) is not None
+    assert spool.pending() == 1
+    # remaining submissions are unaffected (and drain fine)
+    assert [e.spec for e in spool.drain()] in ([{"x": 1}], [{"x": 2}])
+    assert monkey.drop_spool_entry(spool.root) is None  # empty now
+
+
+# -- torn multi-line journal tails -----------------------------------------
+
+
+def test_torn_multiline_tail_recovers_fsynced_prefix(tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    q = JobQueue(journal)
+    done = q.submit("run:a", {"x": 1})
+    q.mark_done(q.next_job(), "computed")
+    running = q.submit("run:b", {"x": 2})
+    assert q.next_job().job_id == running.job_id
+    q.close()
+    # crash-model: two damaged tail lines -- one garbage, one torn
+    with open(journal, "a", encoding="utf-8") as f:
+        f.write("###not json###\n")
+        f.write('{"e": "done", "job": "job-0000')
+    q2 = JobQueue(journal)
+    assert q2.job(done.job_id).state == "done"
+    # b's start survived (fsynced); the torn done never happened, so
+    # recovery re-queues it
+    assert running.job_id in q2.recovered_running
+    assert q2.job(running.job_id).state == "queued"
+    q2.close()
+
+
+# -- BrokenProcessPool: rebuild + retry exhaustion -------------------------
+
+
+def test_worker_suicide_exhausts_retries_and_fails(tmp_path):
+    with CampaignService(
+        str(tmp_path / "state"), workers=1, executor="process",
+        max_retries=0, work_fn=suicide_work,
+    ) as svc:
+        job = svc.submit(POOL[0])
+        report = svc.drain(max_wall_s=60.0)
+    assert job.state == "failed"
+    assert "retries exhausted" in job.error
+    assert report.counts["failed"] == 1
+
+
+def test_worker_suicide_retries_within_budget_then_fails(tmp_path):
+    with CampaignService(
+        str(tmp_path / "state"), workers=1, executor="process",
+        max_retries=2, work_fn=suicide_work,
+    ) as svc:
+        job = svc.submit(POOL[0])
+        svc.drain(max_wall_s=120.0)
+    # original attempt + two retries, each on a freshly rebuilt pool
+    assert job.state == "failed" and job.attempts == 3
+
+
+# -- chaos drain: kills mid-simulation, exactly-once store ----------------
+
+
+def test_chaos_drain_survives_worker_kills_exactly_once(tmp_path):
+    state = str(tmp_path / "state")
+    specs = POOL
+    svc = CampaignService(
+        state, workers=2, executor="process", max_retries=3
+    )
+    for spec in specs:
+        svc.submit(spec)
+    monkey = ChaosMonkey(seed=42)
+    report = chaos_drain(svc, monkey, kills=1, max_wall_s=120.0)
+    svc.close()
+    assert monkey.stats().get("kill_worker", 0) == 1
+    assert report.counts["failed"] == 0
+    assert report.jobs_completed == len(specs)
+    summary = verify_exactly_once(
+        os.path.join(state, "store"), specs
+    )
+    assert summary["verified"] == len(specs)
+
+
+def test_verify_exactly_once_flags_divergent_records(tmp_path):
+    state = str(tmp_path / "state")
+    with CampaignService(state, workers=1, executor="inline") as svc:
+        svc.submit(POOL[0])
+        svc.drain()
+    store_root = os.path.join(state, "store")
+    assert verify_exactly_once(store_root, [POOL[0]])["verified"] == 1
+    # tamper: a torn/garbled record must be caught
+    store = ResultStore(store_root)
+    path = store.path_for(run_key(POOL[0]))
+    with open(path, "a", encoding="utf-8") as f:
+        f.write("garbage")
+    with pytest.raises(AssertionError, match="diverges"):
+        verify_exactly_once(store_root, [POOL[0]])
+
+
+def test_chaos_drain_validates_kills():
+    with pytest.raises(ConfigError, match="kills"):
+        chaos_drain(None, ChaosMonkey(), kills=-1)
+
+
+# -- submissions racing shutdown -------------------------------------------
+
+
+def test_spool_submission_racing_shutdown_survives(tmp_path):
+    state = str(tmp_path / "state")
+    svc = CampaignService(
+        state, workers=1, executor="thread", work_fn=fake_work
+    )
+    svc.submit(POOL[0])
+    # a foreign process spools a submission while we are shutting down
+    spool = Spool(os.path.join(state, "spool"))
+    spool.append(POOL[1].to_dict(), priority=1)
+    svc.shutdown()
+    svc.close()
+    # nothing was lost: the journaled job is still queued, the spooled
+    # submission still pending, and a restarted service serves both
+    with CampaignService(
+        state, workers=1, executor="thread", work_fn=fake_work
+    ) as svc2:
+        assert svc2.queue.depth() == 1
+        assert svc2.spool.pending() == 1
+        report = svc2.drain()
+    assert report.jobs_completed == 2
+    assert report.counts["failed"] == 0
+
+
+# -- journal compaction on startup -----------------------------------------
+
+
+def journal_lines(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return [json.loads(line) for line in f if line.strip()]
+
+
+def test_startup_compaction_shrinks_replayed_history(tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    q = JobQueue(journal)
+    done = q.submit("run:a", {"x": 1}, priority=2)
+    q.mark_done(q.next_job(), "computed")
+    failed = q.submit("run:b", {"x": 2})
+    q.mark_failed(q.next_job(), "kaput")
+    queued = q.submit("run:c", {"x": 3})
+    q.close()
+    before = len(journal_lines(journal))
+    assert before == 7  # 3 submits + 2 starts + done + fail
+
+    q2 = JobQueue(journal)
+    assert q2.compacted_lines == before - 3
+    snapshots = journal_lines(journal)
+    assert [s["e"] for s in snapshots] == ["job"] * 3
+    # full state survives the rewrite
+    assert q2.job(done.job_id).state == "done"
+    assert q2.job(done.job_id).source == "computed"
+    assert q2.job(done.job_id).priority == 2
+    assert q2.job(failed.job_id).state == "failed"
+    assert q2.job(failed.job_id).error == "kaput"
+    assert q2.job(queued.job_id).state == "queued"
+    assert q2.next_job().job_id == queued.job_id
+    # job-id generation continues past compacted history
+    assert q2.submit("run:d", {"x": 4}).job_id == "job-000004"
+    q2.close()
+
+    # a third open replays snapshots + the new lines and compacts again
+    q3 = JobQueue(journal)
+    assert q3.counts()["done"] == 1 and q3.counts()["failed"] == 1
+    q3.close()
+
+
+def test_compaction_skips_minimal_journals_and_can_be_disabled(tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    q = JobQueue(journal)
+    q.submit("run:a", {"x": 1})
+    q.close()
+    # submits-only journal is already one line per job: no rewrite
+    q2 = JobQueue(journal)
+    assert q2.compacted_lines == 0
+    assert journal_lines(journal)[0]["e"] == "submit"
+    q2.mark_done(q2.next_job(), "computed")
+    q2.close()
+    # compact=False preserves the full history verbatim
+    q3 = JobQueue(journal, compact=False)
+    assert q3.compacted_lines == 0
+    assert [e["e"] for e in journal_lines(journal)] == [
+        "submit", "start", "done",
+    ]
+    q3.close()
+
+
+def test_compaction_re_queues_interrupted_jobs(tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    q = JobQueue(journal)
+    job = q.submit("run:a", {"x": 1})
+    assert q.next_job().job_id == job.job_id  # running at "crash"
+    q.close()
+    q2 = JobQueue(journal)
+    assert q2.recovered_running == (job.job_id,)
+    snap = journal_lines(journal)[0]
+    assert snap["e"] == "job" and snap["state"] == "queued"
+    # the snapshot keeps the attempt spent before the crash
+    assert snap["attempts"] == 1
+    q2.close()
+
+
+def test_snapshot_rejects_unknown_state(tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    with open(journal, "w", encoding="utf-8") as f:
+        f.write(json.dumps({
+            "e": "job", "job": "job-000001", "key": "run:a",
+            "spec": {}, "state": "zombie",
+        }) + "\n")
+    with pytest.raises(ConfigError, match="unknown state"):
+        JobQueue(journal)
+
+
+def test_service_restart_compacts_and_resumes(tmp_path):
+    state = str(tmp_path / "state")
+    with CampaignService(
+        state, workers=1, executor="thread", work_fn=fake_work
+    ) as svc:
+        for spec in POOL:
+            svc.submit(spec)
+        svc.drain()
+    journal = os.path.join(state, "journal.jsonl")
+    assert len(journal_lines(journal)) == 3 * len(POOL)
+    with CampaignService(
+        state, workers=1, executor="thread", work_fn=fake_work
+    ) as svc2:
+        assert svc2.queue.compacted_lines == 2 * len(POOL)
+        assert len(journal_lines(journal)) == len(POOL)
+        # resubmitting is store/coalesce-served as before
+        for spec in POOL:
+            svc2.submit(spec)
+        report = svc2.drain()
+    assert report.jobs_completed == len(POOL)
+
+
+# -- result-store pruning --------------------------------------------------
+
+
+def put_records(store, n):
+    paths = []
+    for i in range(n):
+        key = f"run:{i:04d}"
+        store.put({
+            "schema": "repro.result/v1", "key": key,
+            "spec": {"i": i}, "result": {"elapsed_s": float(i)},
+        })
+        paths.append(store.path_for(key))
+    return paths
+
+
+def test_prune_validates_arguments(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    with pytest.raises(ConfigError, match="max_bytes"):
+        store.prune(max_bytes=-1)
+    with pytest.raises(ConfigError, match="ttl"):
+        store.prune(ttl=-0.5)
+
+
+def test_prune_ttl_drops_expired_records(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    paths = put_records(store, 4)
+    old = time.time() - 1000.0
+    for path in paths[:2]:
+        os.utime(path, (old, old))
+    summary = store.prune(ttl=500.0)
+    assert summary["deleted"] == 2
+    assert summary["entries_after"] == 2
+    assert sorted(store.keys()) == ["run:0002", "run:0003"]
+
+
+def test_prune_max_bytes_evicts_oldest_first(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    paths = put_records(store, 4)
+    sizes = [os.path.getsize(p) for p in paths]
+    now = time.time()
+    for i, path in enumerate(paths):  # ages: 0 oldest .. 3 newest
+        os.utime(path, (now - 100 + i, now - 100 + i))
+    budget = sizes[2] + sizes[3]
+    summary = store.prune(max_bytes=budget)
+    assert summary["deleted"] == 2
+    assert summary["bytes_after"] <= budget
+    assert sorted(store.keys()) == ["run:0002", "run:0003"]
+    # idempotent under the same budget
+    assert store.prune(max_bytes=budget)["deleted"] == 0
+
+
+def test_prune_zero_budget_empties_the_store(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    put_records(store, 3)
+    summary = store.prune(max_bytes=0)
+    assert summary["deleted"] == 3
+    assert list(store.keys()) == []
+    # pruning an empty store is fine
+    assert store.prune(max_bytes=0, ttl=0.0)["deleted"] == 0
+
+
+def test_pruned_records_are_recomputed_on_demand(tmp_path):
+    state = str(tmp_path / "state")
+    with CampaignService(
+        state, workers=1, executor="inline"
+    ) as svc:
+        svc.submit(POOL[0])
+        rep = svc.drain()
+    assert rep.sources.get("computed", 0) == 1
+    ResultStore(os.path.join(state, "store")).prune(max_bytes=0)
+    with CampaignService(
+        state, workers=1, executor="inline"
+    ) as svc2:
+        svc2.submit(POOL[0])
+        rep2 = svc2.drain()
+    # a miss, not an error: the spec simply re-evaluates
+    assert rep2.sources.get("computed", 0) == 1

@@ -41,6 +41,7 @@ def test_registry_covers_every_paper_artifact():
         "calibration", "energy", "batch-sensitivity", "ablations",
         "fidelity", "cache-sensitivity", "depth-sensitivity",
         "shard-scaling", "host-scaling", "gids-vs-isp", "service-traffic",
+        "fault-sweep",
     }
     assert set(ALL_EXPERIMENTS) == paper_artifacts | extensions
 

@@ -1,0 +1,282 @@
+"""Tests for the deterministic fault-injection layer (`repro.faults`).
+
+The two contracts under test:
+
+* **zero-fault parity** -- with ``faults`` unset (or an all-zero-rate
+  plan) every backend's result is byte-identical to a build without
+  the fault layer;
+* **seeded determinism** -- a plan reproduces the same faults (and the
+  same degraded result) on every run, process, and job count.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import RunSpec, Session, SystemSpec
+from repro.errors import ConfigError
+from repro.faults import FaultInjector, FaultPlan
+from repro.service.store import result_to_dict, run_key
+
+
+def tiny_spec(mode="event", design="ssd-mmap", faults=None, **kwargs):
+    system_kwargs = {
+        k: kwargs.pop(k) for k in ("n_hosts", "n_shards") if k in kwargs
+    }
+    return RunSpec(
+        dataset="reddit",
+        edge_budget=5e4,
+        batch_size=8,
+        n_workloads=3,
+        n_batches=3,
+        n_workers=2,
+        mode=mode,
+        system=SystemSpec(design=design, faults=faults, **system_kwargs),
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def base_session():
+    """One materialized dataset + workload pool shared by every run."""
+    return Session.from_spec(tiny_spec())
+
+
+def run_spec(base_session, spec):
+    return Session(
+        spec,
+        dataset=base_session.dataset,
+        workloads=base_session.workloads,
+    ).run()
+
+
+# -- FaultPlan validation --------------------------------------------------
+
+
+def test_plan_defaults_are_all_zero():
+    plan = FaultPlan()
+    assert not plan.any_storage and not plan.any_fabric
+    for name in FaultPlan._RATES:
+        assert getattr(plan, name) == 0.0
+
+
+@pytest.mark.parametrize("field,value", [
+    ("flash_read_error_rate", -0.1),
+    ("flash_read_error_rate", 1.5),
+    ("nvme_timeout_rate", 2.0),
+    ("link_flap_rate", -1e-9),
+    ("host_fail_rate", 1.0001),
+    ("link_degrade_frac", 1.0),
+    ("link_degrade_frac", -0.5),
+    ("nvme_timeout_s", 0.0),
+    ("host_recovery_s", -1.0),
+    ("flash_reread_s", 0.0),
+    ("seed", "seven"),
+    ("seed", True),
+])
+def test_plan_rejects_bad_fields(field, value):
+    with pytest.raises(ConfigError):
+        FaultPlan(**{field: value})
+
+
+def test_plan_dict_roundtrip_and_unknown_keys():
+    plan = FaultPlan(seed=3, flash_read_error_rate=0.01,
+                     link_flap_rate=0.1)
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    assert FaultPlan.from_dict(plan) is plan
+    with pytest.raises(ConfigError, match="unknown"):
+        FaultPlan.from_dict({"flash_err": 0.1})
+
+
+def test_system_spec_omits_unset_faults():
+    spec = tiny_spec()
+    assert "faults" not in spec.to_dict()["system"]
+    planned = tiny_spec(faults=FaultPlan(seed=1))
+    out = planned.to_dict()
+    assert out["system"]["faults"]["seed"] == 1
+    rebuilt = RunSpec.from_dict(out)
+    assert rebuilt.system.faults == planned.system.faults
+    assert run_key(planned) != run_key(spec)
+
+
+def test_faults_rejected_on_closed_form_modes():
+    with pytest.raises(ConfigError, match="closed-form"):
+        tiny_spec(mode="analytic", design="smartsage-sw",
+                  faults=FaultPlan()).validate()
+
+
+# -- injector determinism --------------------------------------------------
+
+
+def test_injector_streams_are_seeded_and_site_local():
+    a = FaultInjector(FaultPlan(seed=11))
+    b = FaultInjector(FaultPlan(seed=11))
+    seq_a = [a.count("ssd.flash", 1000, 0.01) for _ in range(20)]
+    seq_b = [b.count("ssd.flash", 1000, 0.01) for _ in range(20)]
+    assert seq_a == seq_b
+    # a different site draws from an independent stream
+    c = FaultInjector(FaultPlan(seed=11))
+    c.count("gids.flash", 1000, 0.01)  # interleave another site
+    assert [c.count("ssd.flash", 1000, 0.01) for _ in range(20)] == seq_a
+    # a different seed diverges
+    d = FaultInjector(FaultPlan(seed=12))
+    assert [d.count("ssd.flash", 1000, 0.01) for _ in range(20)] != seq_a
+
+
+def test_injector_zero_rate_draws_nothing():
+    inj = FaultInjector(FaultPlan(seed=0))
+    assert inj.count("s", 10**6, 0.0) == 0
+    assert inj.happens("s", 0.0) is False
+    assert "s" not in inj._rngs  # no stream was even created
+    assert inj.stats() == {}
+
+
+def test_injector_ledger_prefix_and_counts():
+    inj = FaultInjector(FaultPlan())
+    inj.charge("flash_rereads", 3)
+    inj.charge("flash_rereads")
+    assert inj.stats() == {"fault_flash_rereads": 4}
+    assert inj.stats(prefix="") == {"flash_rereads": 4}
+
+
+# -- zero-fault parity across backends -------------------------------------
+
+
+PARITY_CASES = [
+    ("event", "ssd-mmap", {}),
+    ("async", "ssd-mmap", {}),
+    ("gids", "gids-baseline", {}),
+    ("sharded", "smartsage-sharded", {"n_shards": 2}),
+    ("distributed", "smartsage-sharded", {"n_hosts": 2}),
+]
+
+
+@pytest.mark.parametrize(
+    "mode,design,extra",
+    PARITY_CASES,
+    ids=[c[0] for c in PARITY_CASES],
+)
+def test_zero_rate_plan_is_bit_identical_to_no_plan(
+    base_session, mode, design, extra
+):
+    clean = run_spec(
+        base_session, tiny_spec(mode=mode, design=design, **extra)
+    )
+    zeroed = run_spec(
+        base_session,
+        tiny_spec(mode=mode, design=design, faults=FaultPlan(), **extra),
+    )
+    assert result_to_dict(zeroed) == result_to_dict(clean)
+    assert not any(
+        k.startswith("fault_") for k in zeroed.backend_stats
+    )
+
+
+# -- degraded operation ----------------------------------------------------
+
+
+def test_flash_errors_slow_the_event_backend(base_session):
+    plan = FaultPlan(seed=5, flash_read_error_rate=0.2)
+    clean = run_spec(base_session, tiny_spec())
+    faulty = run_spec(base_session, tiny_spec(faults=plan))
+    again = run_spec(base_session, tiny_spec(faults=plan))
+    assert result_to_dict(faulty) == result_to_dict(again)
+    assert faulty.backend_stats["fault_flash_rereads"] > 0
+    assert faulty.elapsed_s > clean.elapsed_s
+
+
+def test_nvme_timeouts_stall_submissions(base_session):
+    plan = FaultPlan(seed=5, nvme_timeout_rate=1.0, nvme_timeout_s=1e-4)
+    clean = run_spec(base_session, tiny_spec())
+    faulty = run_spec(base_session, tiny_spec(faults=plan))
+    stalls = faulty.backend_stats["fault_nvme_timeouts"]
+    assert stalls > 0
+    assert faulty.elapsed_s >= clean.elapsed_s
+
+
+def test_gids_bar_path_injects_flash_and_nvme_faults(base_session):
+    plan = FaultPlan(seed=5, flash_read_error_rate=0.3,
+                     nvme_timeout_rate=0.5, nvme_timeout_s=1e-4)
+    spec = tiny_spec(mode="gids", design="gids-baseline", faults=plan)
+    clean = run_spec(
+        base_session, tiny_spec(mode="gids", design="gids-baseline")
+    )
+    faulty = run_spec(base_session, spec)
+    assert faulty.backend_stats["fault_flash_rereads"] > 0
+    assert faulty.backend_stats["fault_nvme_timeouts"] > 0
+    assert faulty.elapsed_s > clean.elapsed_s
+
+
+def test_link_degradation_and_flaps_on_the_fabric(base_session):
+    clean = run_spec(
+        base_session,
+        tiny_spec(mode="distributed", design="smartsage-sharded",
+                  n_hosts=2),
+    )
+    plan = FaultPlan(seed=5, link_degrade_frac=0.5, link_flap_rate=1.0)
+    faulty = run_spec(
+        base_session,
+        tiny_spec(mode="distributed", design="smartsage-sharded",
+                  n_hosts=2, faults=plan),
+    )
+    stats = faulty.backend_stats
+    assert stats["fault_link_retransmits"] > 0
+    assert stats["fault_link_retransmit_bytes"] > 0
+    # retransmits land in the per-class traffic ledger too
+    assert stats["net_retransmits"] == stats["fault_link_retransmits"]
+    assert stats["net_retransmit_bytes"] == \
+        stats["fault_link_retransmit_bytes"]
+    assert faulty.elapsed_s > clean.elapsed_s
+    # the clean run shows no retransmit keys at all
+    assert "net_retransmits" not in clean.backend_stats
+
+
+def test_host_failure_pays_recovery_and_resumes(base_session):
+    plan = FaultPlan(seed=5, host_fail_rate=1.0, host_recovery_s=1e-3)
+    clean = run_spec(
+        base_session,
+        tiny_spec(mode="distributed", design="smartsage-sharded",
+                  n_hosts=2),
+    )
+    faulty = run_spec(
+        base_session,
+        tiny_spec(mode="distributed", design="smartsage-sharded",
+                  n_hosts=2, faults=plan),
+    )
+    stats = faulty.backend_stats
+    assert stats["fault_host_failures"] == 2  # rate 1.0, both hosts
+    assert stats["fault_host_recovery_s"] >= 2 * 1e-3
+    assert "host_recovery" in faulty.phase_means
+    # the epoch still completes every batch, just later
+    assert faulty.n_batches == clean.n_batches
+    assert faulty.elapsed_s > clean.elapsed_s
+
+
+def test_ecc_rereads_count_into_flash_statistics(base_session):
+    plan = FaultPlan(seed=5, flash_read_error_rate=0.5)
+    session = Session(
+        tiny_spec(faults=plan),
+        dataset=base_session.dataset,
+        workloads=base_session.workloads,
+    )
+    session.run()
+
+
+def test_fault_sweep_axis_is_spec_addressable(base_session):
+    """Fault plans sweep like any other SystemSpec axis."""
+    spec = tiny_spec()
+    plans = [None, FaultPlan(seed=1, flash_read_error_rate=0.2)]
+    results = []
+    for plan in plans:
+        swept = spec.replace(
+            system=dataclasses.replace(spec.system, faults=plan)
+        )
+        results.append(run_spec(base_session, swept))
+    keys = {
+        run_key(spec.replace(
+            system=dataclasses.replace(spec.system, faults=p)
+        ))
+        for p in plans
+    }
+    assert len(keys) == 2  # distinct store identities
+    assert results[1].elapsed_s > results[0].elapsed_s
