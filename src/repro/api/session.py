@@ -429,6 +429,8 @@ class Session:
             n_shards=sys_spec.n_shards,
             n_hosts=sys_spec.n_hosts,
             gpu_cache_mb=sys_spec.gpu_cache_mb,
+            cache_tiers=sys_spec.cache_tiers,
+            cache_policy=sys_spec.cache_policy,
         )
 
     def run(self, design: Optional[str] = None) -> PipelineResult:
@@ -465,6 +467,8 @@ class Session:
             graph=self.dataset.graph,
             system_factory=warmed_system,
             faults=self.spec.system.faults,
+            cache_tiers=self.spec.system.cache_tiers,
+            cache_policy=self.spec.system.cache_policy,
         )
 
     def sampling_cost(self, design: Optional[str] = None) -> BatchCost:

@@ -89,6 +89,11 @@ class SystemSpec:
     partition: str = "edge-cut"
     #: GPU-HBM software feature-cache budget for GIDS designs (MiB)
     gpu_cache_mb: float = 64.0
+    #: feature-cache tier stack, nearest first (see repro.cache);
+    #: ``None`` keeps the legacy single-HBM-LRU stack byte-for-byte
+    cache_tiers: Optional[Tuple[str, ...]] = None
+    #: replacement policy for the stack (``None`` -> ``"lru"``)
+    cache_policy: Optional[str] = None
     hardware: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: degraded-operation plan (see repro.faults); ``None`` = none
     faults: Optional["FaultPlan"] = None
@@ -96,6 +101,8 @@ class SystemSpec:
     def __post_init__(self) -> None:
         if self.fanouts is not None:
             self.fanouts = tuple(self.fanouts)
+        if self.cache_tiers is not None:
+            self.cache_tiers = tuple(self.cache_tiers)
         self.hardware = {
             section: dict(fields)
             for section, fields in dict(self.hardware).items()
@@ -131,6 +138,9 @@ class SystemSpec:
         _check_positive_int("n_shards", self.n_shards)
         _check_positive_int("n_hosts", self.n_hosts)
         check_positive_real("gpu_cache_mb", self.gpu_cache_mb)
+        from repro.cache.tiers import check_cache_config
+
+        check_cache_config(self.cache_tiers, self.cache_policy)
         from repro.net.fabric import FABRIC_TOPOLOGIES
 
         _require(
@@ -201,6 +211,13 @@ class SystemSpec:
             # absence and None are one state: pre-fault specs, their
             # run keys, and their store records stay byte-identical
             del out["faults"]
+        if out["cache_tiers"] is None:
+            # same rule as faults: pre-cache specs keep their run keys
+            del out["cache_tiers"]
+        else:
+            out["cache_tiers"] = list(out["cache_tiers"])
+        if out["cache_policy"] is None:
+            del out["cache_policy"]
         return out
 
     @classmethod

@@ -189,6 +189,26 @@ class GIDSParams:
 
 
 @dataclass(frozen=True)
+class CacheParams:
+    """Tiered feature-cache hierarchy pricing (:mod:`repro.cache`).
+
+    The ``hbm`` tier reuses ``GIDSParams.cache_hit_s`` per hit and is
+    sized by ``SystemSpec.gpu_cache_mb`` (``hbm_capacity_mb`` is the
+    fallback when a caller has no spec knob); this section prices the
+    two scale-out tiers: a ``peer`` GPU serving its replica's hot pages
+    over an NVLink-class point-to-point link, and a pinned-host ``uva``
+    zero-copy window the GPU reads over the PCIe GPU link
+    (``PCIeParams.gpu_link_*``).
+    """
+
+    hbm_capacity_mb: float = 64.0     # default HBM software-cache budget
+    peer_capacity_mb: float = 64.0    # HBM borrowed on the peer GPU
+    nvlink_bandwidth: float = 50e9    # NVLink-class peer link, effective
+    nvlink_latency_s: float = 1.9e-6  # peer read request/response latency
+    uva_capacity_mb: float = 256.0    # pinned-host UVA window
+
+
+@dataclass(frozen=True)
 class FabricParams:
     """Multi-host network fabric (NICs, TOR switches, oversubscribed spine).
 
@@ -246,6 +266,7 @@ class HardwareParams:
     gpu: GPUParams = GPUParams()
     fpga: FPGAParams = FPGAParams()
     gids: GIDSParams = GIDSParams()
+    cache: CacheParams = CacheParams()
     fabric: FabricParams = FabricParams()
     workload: WorkloadParams = WorkloadParams()
 

@@ -113,10 +113,11 @@ class GIDSFeatureEngine(FeatureEngineBase):
     """Feature gathers as GPU-initiated page reads, optionally cached.
 
     Input-node feature rows are resolved to LBA-sized pages of the
-    feature table; pages resident in the GPU software cache cost an HBM
-    lookup, misses are direct SSD->GPU reads.  Page granularity means
-    co-located rows share fetches, which is where the cache's hub-node
-    hit rate comes from.
+    feature table; pages resident in the cache hierarchy cost their
+    tier's hit service (HBM lookup, NVLink peer pull, UVA PCIe read),
+    and only pages missing every tier are direct SSD->GPU reads.  Page
+    granularity means co-located rows share fetches, which is where
+    the cache's hub-node hit rate comes from.
     """
 
     design = "gids"
@@ -129,23 +130,38 @@ class GIDSFeatureEngine(FeatureEngineBase):
         self.lba_bytes = layout.lba_bytes
 
     def _plan(self, nodes: np.ndarray):
-        """(miss pages, cache hits) for one batch of feature rows."""
+        """(miss pages, per-tier hit costs) for one feature-row batch.
+
+        The second element is a tuple of ``(component, n_hits,
+        cost_s)`` per cache level that served hits -- empty when the
+        design is uncached, single-entry for the plain
+        :class:`~repro.storage.gids.GPUFeatureCache`.
+        """
         nodes = np.asarray(nodes, dtype=np.int64)
         if nodes.size == 0:
-            return 0, 0
+            return 0, ()
         first, counts = self.layout.row_blocks(nodes)
         pages = np.unique(expand_extents(first, counts))
-        if self.controller.cache is None:
-            return int(pages.size), 0
-        mask = self.controller.cache.hit_mask(pages)
+        cache = self.controller.cache
+        if cache is None:
+            return int(pages.size), ()
+        if hasattr(cache, "lookup"):  # TieredFeatureCache stack
+            look = cache.lookup(pages)
+            return look.misses, look.hit_costs()
+        mask = cache.hit_mask(pages)
         hits = int(mask.sum())
-        return int(mask.size) - hits, hits
+        costs = ()
+        if hits:
+            costs = (
+                ("gpu_cache", hits, self.controller.cache_hit_cost(hits)),
+            )
+        return int(mask.size) - hits, costs
 
     def batch_cost(self, nodes: np.ndarray) -> BatchCost:
-        misses, hits = self._plan(nodes)
+        misses, hit_costs = self._plan(nodes)
         cost = BatchCost(design=self.design)
-        if hits:
-            cost.add("gpu_cache", self.controller.cache_hit_cost(hits))
+        for component, _n_hits, cost_s in hit_costs:
+            cost.add(component, cost_s)
         if misses:
             cost.add(
                 "gpu_submit", self.controller.submission_cost(misses)
@@ -165,8 +181,8 @@ class GIDSFeatureEngine(FeatureEngineBase):
 
     def batch_process(self, runtime, nodes: np.ndarray):
         state = _gids_state(self.controller, runtime)
-        misses, hits = self._plan(nodes)
-        yield from state.gpu_cache_hits(hits)
+        misses, hit_costs = self._plan(nodes)
+        yield from state.cache_service(hit_costs)
         if misses:
             yield from state.gpu_read_sequence(
                 misses, float(self.lba_bytes)
@@ -176,7 +192,7 @@ class GIDSFeatureEngine(FeatureEngineBase):
 def _build_gids(ctx: DesignContext, cached: bool) -> TrainingSystem:
     ssd = ctx.make_ssd()
     controller = GIDSController(
-        ssd, cache=ctx.gpu_feature_cache() if cached else None
+        ssd, cache=ctx.feature_cache() if cached else None
     )
     return ctx.make_system(
         ssd=ssd,

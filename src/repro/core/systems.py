@@ -34,6 +34,7 @@ from repro.api.validation import (
     check_fraction,
     check_positive_real,
 )
+from repro.cache.tiers import check_cache_config
 from repro.config import HardwareParams, default_hardware
 from repro.core.feature_engines import (
     DirectIOFeatureEngine,
@@ -162,6 +163,11 @@ class DesignContext:
     n_hosts: int = 1
     #: GPU-HBM software feature cache budget for GIDS designs (MiB)
     gpu_cache_mb: float = 64.0
+    #: cache stack for GIDS designs, outermost first (``None`` keeps the
+    #: legacy single-HBM-LRU stack, which replays old results byte-for-byte)
+    cache_tiers: Optional[tuple] = None
+    #: replacement policy name shared by the stack (``None`` -> ``"lru"``)
+    cache_policy: Optional[str] = None
     edge_layout: EdgeListLayout = field(init=False)
     feature_layout: FeatureTableLayout = field(init=False)
 
@@ -270,6 +276,45 @@ class DesignContext:
         return GPUFeatureCache(
             capacity_bytes=max(lba, int(self.gpu_cache_mb * MIB)),
             page_bytes=lba,
+        )
+
+    def feature_page_priority(self):
+        """Feature-table pages by descending owner-node degree.
+
+        Static pinning input: pages of the hottest (highest-degree)
+        nodes first, deduplicated in first-occurrence order so shared
+        pages rank by their hottest resident row.
+        """
+        import numpy as np
+
+        from repro.host.mmap_io import expand_extents
+
+        order = np.argsort(
+            -self.dataset.graph.degrees(), kind="stable"
+        ).astype(np.int64)
+        first, counts = self.feature_layout.row_blocks(order)
+        pages = expand_extents(first, counts)
+        _uniq, idx = np.unique(pages, return_index=True)
+        return pages[np.sort(idx)]
+
+    def feature_cache(self):
+        """The GIDS feature-cache stack selected by the spec knobs.
+
+        ``cache_tiers=None`` builds the single HBM LRU tier, priced and
+        accounted exactly like the pre-refactor ``GPUFeatureCache``.
+        """
+        from repro.cache import build_tiered_cache
+
+        priority = None
+        if self.cache_policy == "static":
+            priority = self.feature_page_priority()
+        return build_tiered_cache(
+            self.hw,
+            self.hw.ssd.lba_bytes,
+            tiers=self.cache_tiers,
+            policy=self.cache_policy,
+            gpu_cache_mb=self.gpu_cache_mb,
+            priority_pages=priority,
         )
 
     def make_system(self, sampling_engine, feature_engine,
@@ -403,6 +448,8 @@ def build_system(
     n_shards: int = 1,
     n_hosts: int = 1,
     gpu_cache_mb: float = 64.0,
+    cache_tiers: Optional[Sequence[str]] = None,
+    cache_policy: Optional[str] = None,
 ) -> TrainingSystem:
     """Assemble one design point sized against ``dataset``.
 
@@ -425,6 +472,10 @@ def build_system(
 
     ``gpu_cache_mb`` budgets the GPU-HBM software page cache of the
     GIDS designs (ignored by every host-mediated design).
+
+    ``cache_tiers`` / ``cache_policy`` select the GIDS feature-cache
+    stack (see :mod:`repro.cache`); ``None`` keeps the pre-refactor
+    single-HBM-LRU configuration, byte-for-byte.
     """
     entry = design_entry(design)
     host_cache_frac = check_fraction("host_cache_frac", host_cache_frac)
@@ -435,6 +486,9 @@ def build_system(
     if n_hosts < 1:
         raise ConfigError(f"n_hosts must be >= 1, got {n_hosts}")
     gpu_cache_mb = check_positive_real("gpu_cache_mb", gpu_cache_mb)
+    cache_tiers, cache_policy = check_cache_config(
+        cache_tiers, cache_policy
+    )
     hw = hw or default_hardware()
     ctx = DesignContext(
         design=design,
@@ -448,6 +502,8 @@ def build_system(
         n_shards=n_shards,
         n_hosts=n_hosts,
         gpu_cache_mb=gpu_cache_mb,
+        cache_tiers=cache_tiers,
+        cache_policy=cache_policy,
     )
     system = entry.builder(ctx)
     if not isinstance(system, TrainingSystem):

@@ -53,7 +53,7 @@ from repro.pipeline.backends.base import (
 )
 from repro.pipeline.backends.sharded import (
     ShardProducerPool,
-    _remote_bytes_per_workload,
+    _remote_parts_per_workload,
 )
 from repro.pipeline.consumer import GPUConsumer
 from repro.pipeline.timeline import PhaseAccumulator
@@ -110,10 +110,12 @@ class HostProducerPool(ShardProducerPool):
         host: int = 0,
         traffic: Optional[Dict[int, WorkloadTraffic]] = None,
         rpc: Optional[RpcChannel] = None,
+        remote_cost: Optional[Dict[int, float]] = None,
     ):
         super().__init__(
             system, runtime, workloads, queue, batch_ids, phases,
             shard=shard, remote_bytes=remote_bytes, link=link,
+            remote_cost=remote_cost,
         )
         self.host = host
         self.traffic = traffic or {}
@@ -240,6 +242,7 @@ class DistributedCoordinator:
 
         plan: Optional[HostPartitionPlan] = None
         per_group_remote: List[List[int]] = [[0] * len(workloads)]
+        per_group_nodes: List[List] = [[]]
         if self.n_groups > 1:
             plan = plan_hosts(
                 req.graph, self.n_hosts,
@@ -248,13 +251,45 @@ class DistributedCoordinator:
                 row_bytes=row_bytes,
                 edge_id_bytes=edge_id_bytes,
             )
-            per_group_remote = [
-                _remote_bytes_per_workload(
+            per_group_parts = [
+                _remote_parts_per_workload(
                     plan.device_part, req.graph, workloads, g,
                     row_bytes, edge_id_bytes,
                 )
                 for g in range(self.n_groups)
             ]
+            per_group_remote = [
+                [total for total, _ in parts]
+                for parts in per_group_parts
+            ]
+            per_group_nodes = [
+                [nodes for _, nodes in parts]
+                for parts in per_group_parts
+            ]
+
+        # Front cache over each group's cross-device feature pulls:
+        # replayed here, in batch-id order, so both execution faces and
+        # every --jobs level see identical per-batch hit bytes.
+        cache_plans: Dict[int, object] = {}
+        if req.cache_tiers is not None and plan is not None:
+            from repro.cache import (
+                degree_priority_nodes,
+                plan_remote_cache,
+            )
+
+            priority_nodes = None
+            if req.cache_policy == "static":
+                priority_nodes = degree_priority_nodes(req.graph)
+            for g in group_ids:
+                cache_plans[g] = plan_remote_cache(
+                    hw,
+                    self._group_batches(g),
+                    per_group_nodes[g],
+                    row_bytes,
+                    tiers=req.cache_tiers,
+                    policy=req.cache_policy,
+                    priority_nodes=priority_nodes,
+                )
 
         host_traffic: List[List[WorkloadTraffic]] = []
         fabric: Optional[NetworkFabric] = None
@@ -275,7 +310,7 @@ class DistributedCoordinator:
                 gpu, n_layers, hw.fabric.grad_dtype_bytes
             )
         return (group_ids, systems, hw, plan, per_group_remote,
-                host_traffic, fabric, grad_bytes)
+                host_traffic, fabric, grad_bytes, cache_plans)
 
     def _group_batches(self, group: int) -> List[int]:
         return list(range(group, self.request.n_batches, self.n_groups))
@@ -300,7 +335,7 @@ class DistributedCoordinator:
         gpu = req.gpu
         workloads = req.workloads
         (group_ids, systems, hw, plan, per_group_remote,
-         host_traffic, fabric, grad_bytes) = self._prepare()
+         host_traffic, fabric, grad_bytes, cache_plans) = self._prepare()
         design = systems[0].design
 
         sim = Simulator()
@@ -372,6 +407,14 @@ class DistributedCoordinator:
                 idx: per_group_remote[g][idx % len(workloads)]
                 for idx in batch_ids
             }
+            remote_cost: Dict[int, float] = {}
+            cplan = cache_plans.get(g)
+            if cplan is not None:
+                remote = {
+                    idx: remote[idx] - cplan.hit_bytes[idx]
+                    for idx in batch_ids
+                }
+                remote_cost = cplan.hit_cost_s
             traffic = {}
             if host_traffic:
                 traffic = {
@@ -383,6 +426,7 @@ class DistributedCoordinator:
                 group_system, runtime, workloads, queue, batch_ids,
                 phases, shard=g, remote_bytes=remote, link=link,
                 host=host, traffic=traffic, rpc=rpc,
+                remote_cost=remote_cost,
             )
             if fabric is None and recovery_at is None:
                 consumer = GPUConsumer(
@@ -418,6 +462,12 @@ class DistributedCoordinator:
         stats["remote_bytes"] = float(
             sum(p.remote_bytes_moved for p in pools)
         )
+        if cache_plans:
+            from repro.cache import merge_tier_stats
+
+            stats.update(
+                merge_tier_stats([cache_plans[g] for g in group_ids])
+            )
         account = state.account if state is not None else TrafficAccount()
         stats.update(account.stats())
         if rpc is not None:
@@ -458,7 +508,7 @@ class DistributedCoordinator:
         gpu = req.gpu
         workloads = req.workloads
         (group_ids, systems, hw, plan, per_group_remote,
-         host_traffic, fabric, grad_bytes) = self._prepare()
+         host_traffic, fabric, grad_bytes, cache_plans) = self._prepare()
         design = systems[0].design
 
         rpc = RpcChannel(fabric) if fabric is not None else None
@@ -493,6 +543,13 @@ class DistributedCoordinator:
                 add_phase("feature_lookup", feat)
                 prep = samp + feat
                 nbytes = per_group_remote[g][idx % len(workloads)]
+                cplan = cache_plans.get(g)
+                if cplan is not None:
+                    cache_s = cplan.hit_cost_s.get(idx, 0.0)
+                    if cache_s > 0.0:
+                        add_phase("remote_cache", cache_s)
+                        prep += cache_s
+                    nbytes -= cplan.hit_bytes.get(idx, 0)
                 if nbytes and plan is not None:
                     fetch = ingress_lat + nbytes / pcie.gpu_link_bandwidth
                     add_phase("remote_fetch", fetch)
@@ -548,14 +605,28 @@ class DistributedCoordinator:
             busy += n * (consume - allreduce_s)
 
         stats = self._base_stats(plan, fabric, grad_bytes, len(group_ids))
+
+        def _net_remote(g: int, idx: int) -> int:
+            nbytes = per_group_remote[g][idx % len(workloads)]
+            cplan = cache_plans.get(g)
+            if cplan is not None:
+                nbytes -= cplan.hit_bytes.get(idx, 0)
+            return nbytes
+
         stats["remote_bytes"] = float(
             sum(
-                per_group_remote[g][idx % len(workloads)]
+                _net_remote(g, idx)
                 for g in group_ids
                 for idx in self._group_batches(g)
             )
             if plan is not None else 0
         )
+        if cache_plans:
+            from repro.cache import merge_tier_stats
+
+            stats.update(
+                merge_tier_stats([cache_plans[g] for g in group_ids])
+            )
         stats.update(account.stats())
         n_groups_live = len(group_ids)
         return PipelineResult(

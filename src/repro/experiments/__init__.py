@@ -16,6 +16,7 @@ DESIGN.md's per-experiment index for the figure-to-module mapping.
 
 from repro.experiments import (  # noqa: F401
     ablations,
+    cache_hierarchy,
     cache_sensitivity,
     calibration,
     depth_sensitivity,
@@ -73,6 +74,7 @@ ALL_EXPERIMENTS = {
     "ablations": ablations,
     "fidelity": fidelity,
     "cache-sensitivity": cache_sensitivity,
+    "cache-hierarchy": cache_hierarchy,
     "depth-sensitivity": depth_sensitivity,
     "shard-scaling": shard_scaling,
     "host-scaling": host_scaling,

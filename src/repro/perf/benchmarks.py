@@ -92,6 +92,61 @@ def _bench_lru_batch(ctx):
 
 
 @register_benchmark(
+    "cache-tiered",
+    tags=("micro", "cache", "gids"),
+    description="tiered feature-cache lookup, per policy (vectorized vs scalar)",
+)
+def _bench_cache_tiered(ctx):
+    from repro.cache import FeatureCacheTier, TieredFeatureCache
+
+    page = 512
+    n_batches = ctx.scale(200, 20)
+    batch = 1024
+    rng = ctx.rng()
+    domain = 16 * 1024
+    # hub-heavy stream whose hot set fits the near tier: batches are
+    # mostly resident, the eviction-free vector regime of every policy
+    batches = [
+        _zipf_keys(rng, batch, domain=domain, a=1.8)
+        for _ in range(n_batches)
+    ]
+    priority = np.arange(domain, dtype=np.int64)
+
+    def stack(policy):
+        return TieredFeatureCache([
+            FeatureCacheTier("hbm", 1024 * page, page, policy=policy,
+                             priority_pages=priority),
+            FeatureCacheTier("peer", 2048 * page, page, policy=policy,
+                             priority_pages=priority[1024:]),
+            FeatureCacheTier("uva", 8192 * page, page, policy=policy,
+                             priority_pages=priority[1024 + 2048:]),
+        ])
+
+    policies = ("lru", "clock", "static")
+
+    def vectorized():
+        for policy in policies:
+            cache = stack(policy)
+            with ctx.stage(policy):
+                for keys in batches:
+                    cache.lookup(keys)
+
+    def scalar():
+        for policy in policies:
+            cache = stack(policy)
+            for keys in batches:
+                cache.lookup_scalar(keys)
+
+    elapsed = ctx.time(vectorized)
+    reference = ctx.time(scalar)
+    return ctx.result(
+        ops=len(policies) * n_batches * batch,
+        elapsed_s=elapsed,
+        reference_s=reference,
+    )
+
+
+@register_benchmark(
     "flash-plan",
     tags=("micro", "storage"),
     description="flash controller extent planning (batched vs per-extent)",

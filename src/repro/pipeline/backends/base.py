@@ -120,6 +120,11 @@ class ExecutionRequest:
     #: degraded-operation plan (repro.faults.FaultPlan); event-driven
     #: backends create one fresh FaultInjector per simulation from it
     faults: Optional[object] = None
+    #: feature-cache tier stack (see repro.cache); ``None`` keeps each
+    #: backend's legacy cache behavior and stats byte-identical
+    cache_tiers: Optional[tuple] = None
+    #: replacement policy shared by the stack (``None`` -> ``"lru"``)
+    cache_policy: Optional[str] = None
 
     def base_system(self):
         """The request's system, built on first use when only a
@@ -187,6 +192,11 @@ class ExecutionRequest:
                     f"got {self.faults!r}"
                 )
             self.faults.validate()
+        from repro.cache.tiers import check_cache_config
+
+        self.cache_tiers, self.cache_policy = check_cache_config(
+            self.cache_tiers, self.cache_policy
+        )
         return self
 
     def injector(self):

@@ -79,6 +79,13 @@ def _plan_gids(request: ExecutionRequest) -> PipelineResult:
     cache = controller.cache
     cache_hits0 = cache.hits if cache else 0
     cache_misses0 = cache.misses if cache else 0
+    tiers = (
+        cache.tiers
+        if request.cache_tiers is not None
+        and hasattr(cache, "tiers")
+        else ()
+    )
+    tier_hits0 = [(t.hits, t.hit_bytes) for t in tiers]
 
     sim = Simulator()
     inj = request.injector()
@@ -105,6 +112,16 @@ def _plan_gids(request: ExecutionRequest) -> PipelineResult:
     hits = (cache.hits - cache_hits0) if cache else 0
     misses = (cache.misses - cache_misses0) if cache else 0
     accesses = hits + misses
+    # Per-tier counters only when the spec opted into a cache stack;
+    # the default config keeps the legacy stat keys byte-identical.
+    tier_stats = {}
+    for tier, (h0, b0) in zip(tiers, tier_hits0):
+        tier_stats[f"cache_{tier.name}_hits"] = float(tier.hits - h0)
+        tier_stats[f"cache_{tier.name}_hit_bytes"] = float(
+            tier.hit_bytes - b0
+        )
+    if tiers:
+        tier_stats["cache_misses"] = float(misses)
     return PipelineResult(
         design=system.design,
         mode="gids",
@@ -126,6 +143,7 @@ def _plan_gids(request: ExecutionRequest) -> PipelineResult:
             "gpu_cache_hit_rate": (
                 hits / accesses if accesses else 0.0
             ),
+            **tier_stats,
             **(inj.stats() if inj is not None else {}),
         },
     )

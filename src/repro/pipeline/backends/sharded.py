@@ -68,6 +68,7 @@ class ShardProducerPool(ProducerPool):
         shard: int = 0,
         remote_bytes: Optional[Dict[int, int]] = None,
         link: Optional[BandwidthLink] = None,
+        remote_cost: Optional[Dict[int, float]] = None,
     ):
         super().__init__(
             system, runtime, workloads, queue, len(batch_ids), phases
@@ -76,6 +77,10 @@ class ShardProducerPool(ProducerPool):
         self.shard = shard
         self.remote_bytes = remote_bytes or {}
         self.link = link
+        #: pre-planned cache service seconds per batch (repro.cache):
+        #: rows served by the shard's front cache cost this instead of
+        #: crossing the ingress link
+        self.remote_cost = remote_cost or {}
         self.remote_bytes_moved = 0
 
     def _batch_index(self, pos: int):
@@ -85,6 +90,14 @@ class ShardProducerPool(ProducerPool):
         return f"shard{self.shard}-producer-{worker_id}"
 
     def _post_prepare(self, idx: int, workload, name: str):
+        cost_s = self.remote_cost.get(idx, 0.0)
+        if cost_s > 0.0:
+            sim = self.runtime.sim
+            t0 = sim.now
+            yield sim.timeout(cost_s)
+            self.phases.record(
+                "remote_cache", sim.now - t0, worker=name, start_s=t0
+            )
         nbytes = self.remote_bytes.get(idx, 0)
         if nbytes and self.link is not None:
             sim = self.runtime.sim
@@ -96,6 +109,38 @@ class ShardProducerPool(ProducerPool):
             )
 
 
+def _remote_parts_per_workload(
+    part: GraphPartition,
+    graph,
+    workloads,
+    shard: int,
+    row_bytes: int,
+    edge_id_bytes: int,
+):
+    """Cross-shard traffic each workload pulls when run on ``shard``.
+
+    Two remote-read streams: the neighbor lists of sampled hop targets
+    owned elsewhere (edge-list reads from the owning shard's SSD) and
+    the feature rows of input nodes owned elsewhere.  Returns
+    ``(total_bytes, remote_input_nodes)`` per workload; the node array
+    is what a front cache (:mod:`repro.cache`) can absorb -- edge-list
+    reads always cross the link.
+    """
+    out = []
+    for w in workloads:
+        targets = w.all_targets()
+        remote_t = targets[part.remote_mask(targets, shard)]
+        edge_bytes = int(graph.degrees(remote_t).sum()) * edge_id_bytes
+        remote_nodes = w.input_nodes[
+            part.remote_mask(w.input_nodes, shard)
+        ]
+        remote_rows = int(remote_nodes.size)
+        out.append(
+            (edge_bytes + remote_rows * row_bytes, remote_nodes)
+        )
+    return out
+
+
 def _remote_bytes_per_workload(
     part: GraphPartition,
     graph,
@@ -104,22 +149,13 @@ def _remote_bytes_per_workload(
     row_bytes: int,
     edge_id_bytes: int,
 ) -> List[int]:
-    """Cross-shard bytes each workload pulls when run on ``shard``.
-
-    Two remote-read streams: the neighbor lists of sampled hop targets
-    owned elsewhere (edge-list reads from the owning shard's SSD) and
-    the feature rows of input nodes owned elsewhere.
-    """
-    out = []
-    for w in workloads:
-        targets = w.all_targets()
-        remote_t = targets[part.remote_mask(targets, shard)]
-        edge_bytes = int(graph.degrees(remote_t).sum()) * edge_id_bytes
-        remote_rows = int(
-            np.count_nonzero(part.remote_mask(w.input_nodes, shard))
+    """Cross-shard bytes per workload (byte totals only)."""
+    return [
+        total
+        for total, _nodes in _remote_parts_per_workload(
+            part, graph, workloads, shard, row_bytes, edge_id_bytes
         )
-        out.append(edge_bytes + remote_rows * row_bytes)
-    return out
+    ]
 
 
 @register_backend(
@@ -145,7 +181,8 @@ def _plan_sharded(request: ExecutionRequest) -> PipelineResult:
     hw = group_systems[0].hw
 
     part: Optional[GraphPartition] = None
-    per_shard_remote: List[List[int]] = [[0] * len(workloads)]
+    per_shard_parts = [[(0, None)] * len(workloads)]
+    row_bytes = gpu.feature_dim * gpu.feature_dtype_bytes
     if n_shards > 1:
         if request.graph is None:
             raise ConfigError(
@@ -155,20 +192,29 @@ def _plan_sharded(request: ExecutionRequest) -> PipelineResult:
         part = partition_graph(
             request.graph, n_shards, method=request.partition
         )
-        row_bytes = gpu.feature_dim * gpu.feature_dtype_bytes
         edge_id_bytes = hw.workload.edge_id_bytes
-        per_shard_remote = [
-            _remote_bytes_per_workload(
+        per_shard_parts = [
+            _remote_parts_per_workload(
                 part, request.graph, workloads, k, row_bytes, edge_id_bytes
             )
             for k in range(n_shards)
         ]
+    priority_nodes = None
+    if (
+        request.cache_tiers is not None
+        and request.cache_policy == "static"
+        and request.graph is not None
+    ):
+        from repro.cache import degree_priority_nodes
+
+        priority_nodes = degree_priority_nodes(request.graph)
 
     sim = Simulator()
     inj = request.injector()
     phases = PhaseAccumulator()
     consumers: List[GPUConsumer] = []
     pools: List[ShardProducerPool] = []
+    cache_plans: List = []
     procs = []
     for k, group_system in zip(group_ids, group_systems):
         batch_ids = list(range(k, request.n_batches, n_shards))
@@ -186,13 +232,36 @@ def _plan_sharded(request: ExecutionRequest) -> PipelineResult:
                 name=f"shard{k}.ingress",
             )
         remote = {
-            idx: per_shard_remote[k][idx % len(workloads)]
+            idx: per_shard_parts[k][idx % len(workloads)][0]
             for idx in batch_ids
         }
+        remote_cost: Dict[int, float] = {}
+        if request.cache_tiers is not None and part is not None:
+            # Front cache over this shard's remote feature rows: plan
+            # the hit/miss replay now, in batch-id order, so the event
+            # schedule stays a pure function of the spec.
+            from repro.cache import plan_remote_cache
+
+            plan = plan_remote_cache(
+                hw,
+                batch_ids,
+                [nodes for _, nodes in per_shard_parts[k]],
+                row_bytes,
+                tiers=request.cache_tiers,
+                policy=request.cache_policy,
+                priority_nodes=priority_nodes,
+            )
+            cache_plans.append(plan)
+            remote = {
+                idx: remote[idx] - plan.hit_bytes[idx]
+                for idx in batch_ids
+            }
+            remote_cost = plan.hit_cost_s
         queue = WorkQueue(sim, depth=request.queue_depth)
         pool = ShardProducerPool(
             group_system, runtime, workloads, queue, batch_ids, phases,
             shard=k, remote_bytes=remote, link=link,
+            remote_cost=remote_cost,
         )
         consumer = GPUConsumer(
             gpu, queue, len(batch_ids), phases,
@@ -217,6 +286,10 @@ def _plan_sharded(request: ExecutionRequest) -> PipelineResult:
     }
     if part is not None:
         stats.update(part.stats())
+    if cache_plans:
+        from repro.cache import merge_tier_stats
+
+        stats.update(merge_tier_stats(cache_plans))
     if inj is not None:
         stats.update(inj.stats())
     return PipelineResult(

@@ -40,6 +40,8 @@ def run_pipeline(
     graph: Optional[object] = None,
     system_factory=None,
     faults=None,
+    cache_tiers: Optional[tuple] = None,
+    cache_policy: Optional[str] = None,
 ) -> PipelineResult:
     """Simulate ``n_batches`` of training on ``system`` via ``mode``.
 
@@ -62,6 +64,12 @@ def run_pipeline(
     ``faults`` (optional :class:`~repro.faults.FaultPlan`) injects
     deterministic storage/fabric/host faults into the event-driven
     backends; closed-form modes reject it at spec validation.
+    ``cache_tiers``/``cache_policy`` (optional, see :mod:`repro.cache`)
+    select the feature-cache stack: the ``gids`` backend reports
+    per-tier stats for its GPU-side stack, and the ``sharded`` /
+    ``distributed`` backends put a host/peer cache in front of
+    cross-shard feature reads.  ``None`` keeps every backend's legacy
+    behavior byte-identical.
     """
     entry = backend_entry(mode)
     request = ExecutionRequest(
@@ -82,5 +90,7 @@ def run_pipeline(
         graph=graph,
         system_factory=system_factory,
         faults=faults,
+        cache_tiers=cache_tiers,
+        cache_policy=cache_policy,
     ).validate()
     return entry.plan(request)

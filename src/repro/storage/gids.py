@@ -26,15 +26,14 @@ design point over the same SSD substrate:
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from repro.cache.policy import LRUPolicy
 from repro.config import GIDSParams
 from repro.errors import StorageError
-from repro.memory.lru import lru_batch_access, lru_scalar_access
 from repro.sim.resources import BandwidthLink, Resource
 from repro.storage.ssd import SSDevice, SSDState
 
@@ -90,8 +89,10 @@ class GPUFeatureCache:
 
     Keys are LBA-sized page IDs of the feature table, so co-located
     feature rows share cache lines the way GIDS's software cache shares
-    512 B/4 KiB cache lines in GPU memory.  Batched accesses go through
-    the shared LRU kernel; the scalar path is kept for parity tests.
+    512 B/4 KiB cache lines in GPU memory.  The membership kernel now
+    lives in :class:`repro.cache.policy.LRUPolicy` (the registered
+    ``"lru"`` policy of the tiered cache subsystem); this class remains
+    the single-tier convenience wrapper with hit/miss accounting.
     """
 
     def __init__(self, capacity_bytes: int, page_bytes: int = 4096):
@@ -103,33 +104,35 @@ class GPUFeatureCache:
             )
         self.capacity_pages = capacity_bytes // page_bytes
         self.page_bytes = page_bytes
-        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        self._policy = LRUPolicy(self.capacity_pages)
         self.hits = 0
         self.misses = 0
 
+    @property
+    def _lru(self):
+        """The underlying recency-ordered dict (tests inspect it)."""
+        return self._policy._lru
+
     def __len__(self) -> int:
-        return len(self._lru)
+        return len(self._policy)
 
     def __contains__(self, page: int) -> bool:
-        return page in self._lru
+        return page in self._policy
+
+    def _account(self, mask: np.ndarray) -> np.ndarray:
+        """The one hit/miss bookkeeping path both access kernels share."""
+        hits = int(mask.sum())
+        self.hits += hits
+        self.misses += int(mask.size) - hits
+        return mask
 
     def hit_mask(self, pages: np.ndarray) -> np.ndarray:
         """Per-page hit/miss mask for a batch (updates LRU state)."""
-        out = lru_batch_access(self._lru, self.capacity_pages, pages)
-        if out is None:
-            out = lru_scalar_access(self._lru, self.capacity_pages, pages)
-        hits = int(out.sum())
-        self.hits += hits
-        self.misses += int(out.size) - hits
-        return out
+        return self._account(self._policy.access(pages))
 
     def hit_mask_scalar(self, pages: np.ndarray) -> np.ndarray:
         """Reference implementation of :meth:`hit_mask` (parity tests)."""
-        out = lru_scalar_access(self._lru, self.capacity_pages, pages)
-        hits = int(out.sum())
-        self.hits += hits
-        self.misses += int(out.size) - hits
-        return out
+        return self._account(self._policy.access_scalar(pages))
 
     @property
     def hit_rate(self) -> float:
@@ -137,7 +140,9 @@ class GPUFeatureCache:
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        self._lru.clear()
+        self._policy.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 @dataclass
@@ -168,13 +173,16 @@ class GIDSController:
     ``qp_depth`` is the run knob (``RunSpec.qp_depth``); the ``gids``
     execution backend assigns it before attaching, so one built system
     can be re-run at different depths.  ``cache`` is ``None`` for the
-    uncached ``gids-baseline`` design.
+    uncached ``gids-baseline`` design, a single-tier
+    :class:`GPUFeatureCache`, or a
+    :class:`repro.cache.tiers.TieredFeatureCache` stack (the design
+    builders construct the latter from ``SystemSpec.cache_tiers``).
     """
 
     def __init__(
         self,
         ssd: SSDevice,
-        cache: Optional[GPUFeatureCache] = None,
+        cache=None,
         qp_depth: int = 64,
     ):
         self.ssd = ssd
@@ -338,3 +346,14 @@ class GIDSState:
         """Generator: GPU software-cache hit service (no device I/O)."""
         if n_hits > 0:
             yield self.sim.timeout(self.controller.cache_hit_cost(n_hits))
+
+    def cache_service(self, hit_costs):
+        """Generator: tiered cache-hit service, one event per tier hit.
+
+        ``hit_costs`` is ``CacheLookup.hit_costs()`` -- (component,
+        n_hits, cost_s) per tier that served hits.  A single-HBM stack
+        yields exactly one timeout of ``n_hits * cache_hit_s``, the
+        schedule :meth:`gpu_cache_hits` produced before the refactor.
+        """
+        for _component, _n_hits, cost_s in hit_costs:
+            yield self.sim.timeout(cost_s)

@@ -37,7 +37,8 @@ PAPER_EXPERIMENTS = (
 )
 EXTENSION_EXPERIMENTS = (
     "calibration", "energy", "batch-sensitivity", "ablations",
-    "fidelity", "cache-sensitivity", "depth-sensitivity",
+    "fidelity", "cache-sensitivity", "cache-hierarchy",
+    "depth-sensitivity",
     "shard-scaling", "host-scaling", "gids-vs-isp", "service-traffic",
     "fault-sweep",
 )

@@ -39,7 +39,8 @@ def test_registry_covers_every_paper_artifact():
     }
     extensions = {
         "calibration", "energy", "batch-sensitivity", "ablations",
-        "fidelity", "cache-sensitivity", "depth-sensitivity",
+        "fidelity", "cache-sensitivity", "cache-hierarchy",
+    "depth-sensitivity",
         "shard-scaling", "host-scaling", "gids-vs-isp", "service-traffic",
         "fault-sweep",
     }
